@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each ``test_figN_*`` module regenerates one table/figure from the paper's
+evaluation (section 6): it runs the corresponding experiment harness once
+(module-scoped, results cached), prints the series the paper plots, and
+asserts the paper's qualitative shape. ``pytest-benchmark`` timings are
+taken on one representative configuration per figure so the suite stays
+runnable in minutes.
+"""
+
+from __future__ import annotations
+
+
+def print_series(title: str, rows: list[str]) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}")
+    for row in rows:
+        print(row)

@@ -1,0 +1,57 @@
+"""Ablation: MAC vs digital-signature authentication (DESIGN.md section 5).
+
+The paper's section 3 argument for MACs ("three orders of magnitude
+faster" than signatures, hence better scaling to large replica groups),
+made measurable: the identical two-tier benchmark under both cost models.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.experiments.ablations import crypto_ablation
+
+GROUP_SIZES = (1, 4, 7)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return crypto_ablation(group_sizes=GROUP_SIZES, total_calls=40)
+
+
+def test_ablation_series(rows, benchmark):
+    lines = benchmark(
+        lambda: [
+            f"n={row.n:<3d} MAC {row.mac_rps:8.1f} req/s   "
+            f"signatures {row.signature_rps:8.1f} req/s   "
+            f"slowdown {row.slowdown:5.2f}x"
+            for row in rows
+        ]
+    )
+    print_series("Ablation: MAC vs digital-signature authentication", lines)
+    assert all(row.signature_rps < row.mac_rps for row in rows)
+
+
+def test_signatures_slower_everywhere(rows):
+    for row in rows:
+        assert row.signature_rps < row.mac_rps
+
+
+def test_signature_penalty_grows_with_group_size(rows):
+    """The scalability argument: the signature slowdown worsens as the
+    replica group (and thus per-request message count) grows."""
+    slowdowns = [row.slowdown for row in rows]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[-1] > slowdowns[0] * 1.5
+
+
+def test_benchmark_signature_cell(benchmark):
+    from repro.crypto.cost import SIGNATURE_COST_MODEL
+    from repro.experiments.microbench import run_two_tier
+
+    result = benchmark.pedantic(
+        lambda: run_two_tier(4, 4, total_calls=20,
+                             cost_model=SIGNATURE_COST_MODEL),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed == 20

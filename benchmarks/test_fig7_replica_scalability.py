@@ -1,0 +1,85 @@
+"""FIG7: replica scalability under null requests (paper Figure 7).
+
+Throughput of a two-tier closed synchronous loop over the full
+{1,4,7,10} x {1,4,7,10} replication grid. Paper shape: throughput falls
+as either group grows, the unreplicated pair is fastest, and the marginal
+cost of additional replicas shrinks (scalability argument, section 6.4).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.experiments.microbench import run_two_tier
+
+GROUP_SIZES = (1, 4, 7, 10)
+CALLS = 80
+
+
+@pytest.fixture(scope="module")
+def grid():
+    results = {}
+    for n_target in GROUP_SIZES:
+        for n_calling in GROUP_SIZES:
+            results[(n_calling, n_target)] = run_two_tier(
+                n_calling, n_target, total_calls=CALLS
+            )
+    return results
+
+
+def test_fig7_series(grid, benchmark):
+    def build_rows():
+        rows = []
+        for n_target in GROUP_SIZES:
+            rows.append(f"-- nt = {n_target}")
+            for n_calling in GROUP_SIZES:
+                rows.append("   " + grid[(n_calling, n_target)].row())
+        return rows
+
+    rows = benchmark(build_rows)
+    print_series("Figure 7: replica scalability (null requests)", rows)
+    for result in grid.values():
+        assert result.completed == CALLS
+    # Key paper shapes, validated in --benchmark-only runs too.
+    assert grid[(1, 1)].throughput_rps == max(
+        r.throughput_rps for r in grid.values()
+    )
+    ratio = grid[(4, 4)].throughput_rps / grid[(1, 1)].throughput_rps
+    assert 0.20 <= ratio <= 0.45
+
+
+def test_fig7_shape_throughput_decreases_with_replication(grid):
+    # Along each row and column of the grid, adding replicas to either
+    # side never increases throughput beyond noise.
+    for n_target in GROUP_SIZES:
+        series = [grid[(nc, n_target)].throughput_rps for nc in GROUP_SIZES]
+        assert all(a >= b * 0.98 for a, b in zip(series, series[1:]))
+    for n_calling in GROUP_SIZES:
+        series = [grid[(n_calling, nt)].throughput_rps for nt in GROUP_SIZES]
+        assert all(a >= b * 0.98 for a, b in zip(series, series[1:]))
+
+
+def test_fig7_shape_unreplicated_fastest(grid):
+    fastest = max(grid.values(), key=lambda r: r.throughput_rps)
+    assert (fastest.n_calling, fastest.n_target) == (1, 1)
+
+
+def test_fig7_shape_paper_replication_cost_band(grid):
+    # Section 6.4: 4x4 null-op throughput is ~31% of the unreplicated pair.
+    ratio = grid[(4, 4)].throughput_rps / grid[(1, 1)].throughput_rps
+    assert 0.20 <= ratio <= 0.45, f"4x4/1x1 ratio {ratio:.2f}"
+
+
+def test_fig7_shape_marginal_cost_shrinks(grid):
+    # The drop 1->4 is proportionally larger than the drop 7->10: the
+    # overhead growth decelerates, the paper's scalability argument.
+    t = {n: grid[(n, n)].throughput_rps for n in GROUP_SIZES}
+    drop_1_4 = t[1] / t[4]
+    drop_7_10 = t[7] / t[10]
+    assert drop_1_4 > drop_7_10
+
+
+def test_fig7_benchmark_representative_cell(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_two_tier(4, 4, total_calls=30), rounds=1, iterations=1
+    )
+    assert result.completed == 30

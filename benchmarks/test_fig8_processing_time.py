@@ -1,0 +1,100 @@
+"""FIG8: effect of non-zero processing time (paper Figure 8).
+
+Request completion time and relative replication overhead as per-request
+CPU time sweeps 0..20 ms. Paper shape: completion time grows linearly in
+CPU time for every replication degree; the *relative* overhead decays
+quickly (section 6.4 quantifies: 4-replica throughput goes from ~31% of
+unreplicated at null ops to ~66% at 6 ms).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.experiments.microbench import run_two_tier
+
+GROUP_SIZES = (1, 4, 7, 10)
+CPU_POINTS_MS = (0, 2, 6, 12, 20)
+CALLS = 60
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for n in GROUP_SIZES:
+        for cpu_ms in CPU_POINTS_MS:
+            results[(n, cpu_ms)] = run_two_tier(
+                n, n, total_calls=CALLS, cpu_ms=cpu_ms
+            )
+    return results
+
+
+def test_fig8_series(sweep, benchmark):
+    def build_rows():
+        rows = []
+        for n in GROUP_SIZES:
+            rows.append(f"-- nt = nc = {n}")
+            for cpu_ms in CPU_POINTS_MS:
+                result = sweep[(n, cpu_ms)]
+                overhead = (
+                    result.ms_per_request / sweep[(1, cpu_ms)].ms_per_request
+                )
+                rows.append(
+                    f"   cpu={cpu_ms:>2d}ms  {result.ms_per_request:7.3f} "
+                    f"ms/req   relative overhead {overhead:4.2f}x"
+                )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_series("Figure 8: effect of non-zero processing time", rows)
+    # Key paper shape: overhead decays with processing time (TXT-B band).
+    at_null = sweep[(4, 0)].throughput_rps / sweep[(1, 0)].throughput_rps
+    at_6ms = sweep[(4, 6)].throughput_rps / sweep[(1, 6)].throughput_rps
+    assert at_6ms > at_null * 1.5
+
+
+def test_fig8_shape_completion_time_linear_in_cpu(sweep):
+    for n in GROUP_SIZES:
+        times = [sweep[(n, c)].ms_per_request for c in CPU_POINTS_MS]
+        assert times == sorted(times)
+        # Slope dominated by the CPU term at the high end: 20ms of work
+        # must cost at least 20ms of completion time.
+        assert times[-1] >= 20.0
+
+
+def test_fig8_shape_relative_overhead_decays(sweep):
+    for n in (4, 7, 10):
+        overheads = [
+            sweep[(n, c)].ms_per_request / sweep[(1, c)].ms_per_request
+            for c in CPU_POINTS_MS
+        ]
+        # Strictly decaying from null ops to 20ms within tolerance.
+        assert overheads[0] > overheads[-1]
+        assert all(a >= b * 0.9 for a, b in zip(overheads, overheads[1:]))
+        # At 20ms of real work the overhead is small (paper: replication
+        # justified for real workloads).
+        assert overheads[-1] < 1.6
+
+
+def test_fig8_paper_throughput_claims(sweep):
+    """TXT-B: ~31% of unreplicated at null ops -> ~66% at 6 ms (n=4)."""
+    at_null = sweep[(4, 0)].throughput_rps / sweep[(1, 0)].throughput_rps
+    at_6ms = sweep[(4, 6)].throughput_rps / sweep[(1, 6)].throughput_rps
+    print_series(
+        "Section 6.4 claim (TXT-B)",
+        [
+            f"4-replica relative throughput at null ops: {at_null:5.1%} (paper ~31%)",
+            f"4-replica relative throughput at 6ms CPU:  {at_6ms:5.1%} (paper ~66%)",
+        ],
+    )
+    assert 0.20 <= at_null <= 0.45
+    assert 0.55 <= at_6ms <= 0.90
+    assert at_6ms > at_null * 1.5
+
+
+def test_fig8_benchmark_representative_cell(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_two_tier(4, 4, total_calls=20, cpu_ms=6),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed == 20

@@ -1,0 +1,94 @@
+"""FIG9: effect of asynchronous messaging (paper Figure 9).
+
+Throughput as the window of parallel asynchronous requests grows over
+{1, 5, 10, 20, 25} for n_t = n_c in {4, 7, 10}. Paper shape: large gains
+over the synchronous (window=1) baseline — "as much as 225%, 239%, and
+227%" for 4, 7, and 10 replicas — saturating as the window fills the
+pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.experiments.microbench import run_async_window
+
+GROUP_SIZES = (4, 7, 10)
+WINDOWS = (1, 5, 10, 20, 25)
+CALLS = 120
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for n in GROUP_SIZES:
+        for window in WINDOWS:
+            results[(n, window)] = run_async_window(
+                n, n, window=window, total_calls=CALLS
+            )
+    return results
+
+
+def test_fig9_series(sweep, benchmark):
+    def build_rows():
+        rows = []
+        for n in GROUP_SIZES:
+            base = sweep[(n, 1)].throughput_rps
+            rows.append(f"-- nt = nc = {n}")
+            for window in WINDOWS:
+                result = sweep[(n, window)]
+                gain = (result.throughput_rps - base) / base * 100
+                rows.append(
+                    f"   window={window:<3d} {result.throughput_rps:8.1f} "
+                    f"req/s   gain {gain:+6.0f}%"
+                )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_series("Figure 9: effect of asynchronous messaging", rows)
+    for result in sweep.values():
+        assert result.completed == CALLS
+    # Key paper shape: substantial async gain at every replication degree.
+    # (Paper: +225/239/227%; our simulator reproduces +~200% at n=4 and
+    # +~100% at n=10 -- see EXPERIMENTS.md for the deviation discussion.)
+    for n in GROUP_SIZES:
+        base = sweep[(n, 1)].throughput_rps
+        best = max(sweep[(n, w)].throughput_rps for w in WINDOWS)
+        assert (best - base) / base * 100 >= 90
+
+
+def test_fig9_shape_async_beats_sync_substantially(sweep):
+    """TXT-C: the async gain lands in the paper's order of magnitude
+    (reported: +225/+239/+227% at the best window; measured here +~200%
+    at n=4 falling to +~100% at n=10 -- the win is still multi-x)."""
+    for n in GROUP_SIZES:
+        base = sweep[(n, 1)].throughput_rps
+        best = max(sweep[(n, w)].throughput_rps for w in WINDOWS)
+        gain = (best - base) / base * 100
+        assert gain >= 90, f"n={n}: async gain only {gain:.0f}%"
+        assert gain <= 400, f"n={n}: async gain implausibly high {gain:.0f}%"
+
+
+def test_fig9_shape_gain_saturates(sweep):
+    # The step from window 1->5 dwarfs the step from 10->25.
+    for n in GROUP_SIZES:
+        t1 = sweep[(n, 1)].throughput_rps
+        t5 = sweep[(n, 5)].throughput_rps
+        t10 = sweep[(n, 10)].throughput_rps
+        t25 = sweep[(n, 25)].throughput_rps
+        assert (t5 - t1) > abs(t25 - t10) * 2
+
+
+def test_fig9_shape_ordering_by_replication(sweep):
+    # At every window, smaller groups are faster.
+    for window in WINDOWS:
+        series = [sweep[(n, window)].throughput_rps for n in GROUP_SIZES]
+        assert series == sorted(series, reverse=True)
+
+
+def test_fig9_benchmark_representative_cell(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_async_window(4, 4, window=10, total_calls=40),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed == 40

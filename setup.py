@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build PEP 660 editable wheels; on
+offline machines without it, ``python setup.py develop`` installs the same
+editable package through setuptools directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Perpetual-WS reproduction.
+
+A from-scratch Python implementation of the system described in
+"Byzantine Fault-Tolerant Web Services for n-Tier and Service Oriented
+Architectures" (Pallemulle & Goldman, WUCSE-2007-53 / ICDCS 2008):
+
+- ``repro.clbft``      -- Castro-Liskov Practical Byzantine Fault Tolerance.
+- ``repro.perpetual``  -- the Perpetual replicated-to-replicated algorithm.
+- ``repro.soap``       -- a minimal SOAP / WS-Addressing engine (Axis2 stand-in).
+- ``repro.ws``         -- the Perpetual-WS middleware and public API.
+- ``repro.sim``        -- deterministic discrete-event simulation substrate.
+- ``repro.tpcw``       -- the TPC-W macro-benchmark (bookstore, RBEs, PGE, bank).
+
+The top-level package re-exports the public API a downstream user needs to
+deploy a replicated web service.
+"""
+
+from repro.common.config import ReplicationConfig, ServiceSpec
+from repro.common.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    RequestAborted,
+)
+from repro.perpetual.executor import (
+    Compute,
+    CurrentTime,
+    Random,
+    ReceiveReply,
+    ReceiveRequest,
+    Send,
+    SendReply,
+    Timestamp,
+)
+from repro.ws.api import MessageContext, MessageHandler, Utils
+from repro.ws.deployment import Deployment, ServiceDeployment
+
+__all__ = [
+    "AuthenticationError",
+    "Compute",
+    "ConfigurationError",
+    "CurrentTime",
+    "Deployment",
+    "MessageContext",
+    "MessageHandler",
+    "ProtocolError",
+    "Random",
+    "ReceiveReply",
+    "ReceiveRequest",
+    "ReplicationConfig",
+    "ReproError",
+    "RequestAborted",
+    "Send",
+    "SendReply",
+    "ServiceDeployment",
+    "ServiceSpec",
+    "Timestamp",
+    "Utils",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,35 @@
+"""Reference applications used by examples, tests, and benchmarks.
+
+Every application here is written against the public Perpetual-WS API
+(:mod:`repro.ws.api`) and is deterministic, as the programming model of
+paper section 4 requires:
+
+- :mod:`repro.apps.counter`      -- the paper's micro-benchmark ``increment``
+  null-operation service (section 6.2);
+- :mod:`repro.apps.digest`       -- the message-digest busy-work service used
+  to model non-zero processing time (section 6.2 / Figure 8);
+- :mod:`repro.apps.echo`         -- minimal request/reply echo;
+- :mod:`repro.apps.payment`      -- the Payment Gateway Emulator (PGE) and the
+  credit-card issuing bank of the TPC-W setup (section 6.1 / Figure 5);
+- :mod:`repro.apps.workloads`    -- caller-side workload generators (closed
+  sync loops and async windows) for the micro-benchmarks;
+- :mod:`repro.apps.orchestrator` -- an SOA-style orchestrator with a
+  long-running active thread of computation, demonstrating the application
+  model Thema/BFT-WS/SWS cannot express.
+"""
+
+from repro.apps.counter import counter_app
+from repro.apps.digest import digest_app
+from repro.apps.echo import echo_app
+from repro.apps.payment import bank_app, pge_app
+from repro.apps.workloads import async_window_caller, sync_closed_loop_caller
+
+__all__ = [
+    "async_window_caller",
+    "bank_app",
+    "counter_app",
+    "digest_app",
+    "echo_app",
+    "pge_app",
+    "sync_closed_loop_caller",
+]

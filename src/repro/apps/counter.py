@@ -1,0 +1,22 @@
+"""The ``increment`` null-operation service (paper section 6.2).
+
+"To simulate null-operations, we implemented a simple increment method to
+increment a counter at the target Web Service and return the old value of
+the counter." This is the workload behind Figure 7 (replica scalability)
+and the zero-CPU point of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.ws.api import MessageContext, MessageHandler
+
+
+def counter_app():
+    """Generator application: increments on every request."""
+    counter = 0
+    while True:
+        request = yield MessageHandler.receive_request()
+        old_value = counter
+        counter += 1
+        reply = MessageContext(body={"old": old_value, "counter": counter})
+        yield MessageHandler.send_reply(reply, request)

@@ -1,0 +1,28 @@
+"""The message-digest busy-work service (paper section 6.2).
+
+"To simulate non-zero execution time, we used message digest calculations
+that approximately took the required length of time to complete." The
+request carries the CPU time to burn; the reply carries a real digest over
+the request body so the computed value is deterministic and checkable.
+This is the workload behind Figure 8.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ws.api import MessageContext, MessageHandler
+
+
+def digest_app():
+    """Generator application: burns the requested CPU time, returns a digest."""
+    while True:
+        request = yield MessageHandler.receive_request()
+        body = request.body or {}
+        cpu_us = int(body.get("cpu_us", 0))
+        if cpu_us > 0:
+            yield MessageHandler.compute(cpu_us)
+        material = str(sorted(body.items())).encode()
+        value = hashlib.sha256(material).hexdigest()
+        reply = MessageContext(body={"digest": value, "cpu_us": cpu_us})
+        yield MessageHandler.send_reply(reply, request)

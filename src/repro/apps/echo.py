@@ -1,0 +1,14 @@
+"""Minimal echo service: replies with the request body unchanged."""
+
+from __future__ import annotations
+
+from repro.ws.api import MessageContext, MessageHandler
+
+
+def echo_app():
+    """Generator application: echoes every request body back."""
+    while True:
+        request = yield MessageHandler.receive_request()
+        yield MessageHandler.send_reply(
+            MessageContext(body=request.body), request
+        )

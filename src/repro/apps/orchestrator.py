@@ -1,0 +1,134 @@
+"""An SOA orchestrator with a long-running active thread of computation.
+
+This demonstrates the application model the paper argues existing BFT
+middleware cannot express (section 3): the orchestrator is *active* — it
+drives a multi-step business process of its own volition, issuing calls to
+several services, consulting the deterministic clock, and still serving
+status queries while steps are in flight. It is a miniature of the
+BPEL-engine direction in the paper's future work.
+
+The process: for each work order, (1) reserve inventory, (2) authorise
+payment, (3) if both succeed, confirm shipment; compensate the reservation
+when payment fails — a classic saga, executed deterministically across
+all orchestrator replicas.
+"""
+
+from __future__ import annotations
+
+from repro.ws.api import MessageContext, MessageHandler, Utils
+
+
+def orchestrator_app(
+    orders: list[dict],
+    inventory_endpoint: str = "inventory",
+    payment_endpoint: str = "payment",
+    shipping_endpoint: str = "shipping",
+    log: list | None = None,
+):
+    """Build the orchestrator application for a fixed batch of orders.
+
+    ``log`` (optional, test observability) receives one entry per
+    completed saga: ``(order_id, outcome, started_at_ms)``.
+    """
+
+    def app():
+        for order in orders:
+            order_id = order["order_id"]
+            started_at = yield Utils.current_time_millis()
+            reservation = yield MessageHandler.send_receive(
+                MessageContext(
+                    to=inventory_endpoint,
+                    body={"op": "reserve", "order_id": order_id,
+                          "item": order["item"], "qty": order["qty"]},
+                )
+            )
+            if reservation.is_fault or not reservation.body.get("ok"):
+                if log is not None:
+                    log.append((order_id, "no-stock", started_at))
+                continue
+            payment = yield MessageHandler.send_receive(
+                MessageContext(
+                    to=payment_endpoint,
+                    body={"card": order["card"],
+                          "amount_cents": order["amount_cents"]},
+                )
+            )
+            approved = (not payment.is_fault) and payment.body.get("approved")
+            if not approved:
+                # Compensate: release the reservation.
+                yield MessageHandler.send_receive(
+                    MessageContext(
+                        to=inventory_endpoint,
+                        body={"op": "release", "order_id": order_id},
+                    )
+                )
+                if log is not None:
+                    log.append((order_id, "payment-declined", started_at))
+                continue
+            shipment = yield MessageHandler.send_receive(
+                MessageContext(
+                    to=shipping_endpoint,
+                    body={"op": "ship", "order_id": order_id},
+                )
+            )
+            outcome = "shipped" if (
+                not shipment.is_fault and shipment.body.get("ok")
+            ) else "ship-failed"
+            if log is not None:
+                log.append((order_id, outcome, started_at))
+
+    return app
+
+
+def inventory_app(stock: dict[str, int]):
+    """Inventory service for the saga: reserve/release with real state.
+
+    State lives *inside* the generator so every replica evolves its own
+    copy deterministically (sharing it across replicas would break the
+    replicated state machine model).
+    """
+
+    def app():
+        holdings = dict(stock)
+        reservations: dict[int, tuple[str, int]] = {}
+        while True:
+            request = yield MessageHandler.receive_request()
+            body = request.body or {}
+            op = body.get("op")
+            if op == "reserve":
+                item, qty = body.get("item", ""), int(body.get("qty", 0))
+                if holdings.get(item, 0) >= qty > 0:
+                    holdings[item] -= qty
+                    reservations[body["order_id"]] = (item, qty)
+                    result = {"ok": True}
+                else:
+                    result = {"ok": False, "reason": "out-of-stock"}
+            elif op == "release":
+                held = reservations.pop(body.get("order_id"), None)
+                if held is not None:
+                    holdings[held[0]] += held[1]
+                result = {"ok": True}
+            else:
+                result = {"ok": False, "reason": "bad-op"}
+            yield MessageHandler.send_reply(MessageContext(body=result), request)
+
+    return app
+
+
+def shipping_app():
+    """Shipping service: acknowledges every well-formed shipment."""
+
+    def app():
+        shipped = 0
+        while True:
+            request = yield MessageHandler.receive_request()
+            body = request.body or {}
+            ok = body.get("op") == "ship" and "order_id" in body
+            if ok:
+                shipped += 1
+            yield MessageHandler.send_reply(
+                MessageContext(body={"ok": ok, "shipped_total": shipped}),
+                request,
+            )
+
+    return app

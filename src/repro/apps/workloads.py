@@ -1,0 +1,109 @@
+"""Caller-side workload generators for the micro-benchmarks.
+
+Paper section 6.2: "For all of our micro-benchmarks, we used a two-tier
+setting with caller and target Web Services both implemented using
+Perpetual-WS. All measurements were recorded at the calling Web Service."
+
+Two callers reproduce the two communication patterns measured:
+
+- :func:`sync_closed_loop_caller` — one outstanding request at a time
+  (Figures 7 and 8);
+- :func:`async_window_caller`    — a window of parallel asynchronous
+  requests kept full (Figure 9).
+
+Both record completion timestamps through a shared
+:class:`CompletionRecorder` so the experiment harness can compute
+throughput and per-request completion time at the calling service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ws.api import MessageContext, MessageHandler
+
+
+@dataclass
+class CompletionRecorder:
+    """Collects completion counts; replica 0's driver is the observer."""
+
+    completions: list[int] = field(default_factory=list)
+    faults: int = 0
+
+    def record(self, fault: bool) -> None:
+        if fault:
+            self.faults += 1
+        else:
+            self.completions.append(1)
+
+    @property
+    def completed(self) -> int:
+        return len(self.completions)
+
+
+def sync_closed_loop_caller(
+    target: str,
+    total_calls: int,
+    recorder: CompletionRecorder | None = None,
+    body: dict | None = None,
+    timeout_ms: int | None = None,
+):
+    """Closed-loop synchronous caller: issue, block, repeat."""
+    payload = body or {}
+
+    def app():
+        from repro.ws.api import Options
+
+        for i in range(total_calls):
+            context = MessageContext(
+                to=target,
+                body=dict(payload, seq=i),
+                options=Options(timeout_ms=timeout_ms),
+            )
+            reply = yield MessageHandler.send_receive(context)
+            if recorder is not None:
+                recorder.record(reply.is_fault)
+
+    return app
+
+
+def async_window_caller(
+    target: str,
+    total_calls: int,
+    window: int,
+    recorder: CompletionRecorder | None = None,
+    body: dict | None = None,
+    timeout_ms: int | None = None,
+):
+    """Windowed asynchronous caller.
+
+    Keeps up to ``window`` requests in flight: issues eagerly until the
+    window fills, then consumes one reply per new issue — the parallel
+    asynchronous request pattern of Figure 9.
+    """
+    payload = body or {}
+
+    def app():
+        from repro.ws.api import Options
+
+        issued = 0
+        completed = 0
+        in_flight = 0
+        while completed < total_calls:
+            if issued < total_calls and in_flight < window:
+                context = MessageContext(
+                    to=target,
+                    body=dict(payload, seq=issued),
+                    options=Options(timeout_ms=timeout_ms),
+                )
+                yield MessageHandler.send(context)
+                issued += 1
+                in_flight += 1
+                continue
+            reply = yield MessageHandler.receive_reply()
+            completed += 1
+            in_flight -= 1
+            if recorder is not None:
+                recorder.record(reply.is_fault)
+
+    return app

@@ -1,0 +1,20 @@
+"""Comparison systems: the Figure 2 feature matrix and baselines.
+
+The paper's quantitative baseline is its own system at n=1 (no
+replication); its qualitative comparison (Figure 2) scores Perpetual-WS
+against Thema, BFT-WS, and SWS on nine properties. This package encodes
+that matrix (:mod:`repro.baselines.features`) with *executable* probes for
+the properties our implementation can demonstrate, plus restricted-mode
+deployment wrappers (:mod:`repro.baselines.restricted`) that emulate the
+other systems' limitations (no replicated callers, synchronous-only,
+signature authentication) for the ablation benchmarks.
+"""
+
+from repro.baselines.features import (
+    FEATURE_MATRIX,
+    PROPERTIES,
+    SYSTEMS,
+    supports,
+)
+
+__all__ = ["FEATURE_MATRIX", "PROPERTIES", "SYSTEMS", "supports"]

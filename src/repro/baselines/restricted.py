@@ -1,0 +1,92 @@
+"""Restricted deployment modes emulating the comparison systems.
+
+These wrappers configure our own substrate the way the related systems
+constrain theirs, so ablation benchmarks can quantify what each
+restriction costs:
+
+- :func:`bft_ws_mode`  — BFT-WS: digital-signature authentication and no
+  replicated callers (callers must be n=1);
+- :func:`thema_mode`   — Thema: MAC authentication, replicated services
+  can call out, but calling services may not be replicated and all
+  messaging is synchronous;
+- :func:`sws_mode`     — SWS: replicated-to-replicated allowed, but
+  signature authentication and synchronous-only messaging.
+
+The *behavioural* differences (missing fault isolation, no long-running
+threads) are qualitative and live in the Figure 2 matrix; what is
+measurable here is the cryptographic and communication-pattern cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.crypto.cost import (
+    CryptoCostModel,
+    MAC_COST_MODEL,
+    SIGNATURE_COST_MODEL,
+)
+
+
+@dataclass(frozen=True)
+class RestrictedMode:
+    """Constraints a comparison system imposes on a deployment."""
+
+    name: str
+    cost_model: CryptoCostModel
+    replicated_callers: bool
+    asynchronous: bool
+
+    def check_caller_replication(self, n_calling: int) -> None:
+        if n_calling > 1 and not self.replicated_callers:
+            raise ConfigurationError(
+                f"{self.name} does not support replicated calling services "
+                f"(requested n={n_calling})"
+            )
+
+    def check_window(self, window: int) -> None:
+        if window > 1 and not self.asynchronous:
+            raise ConfigurationError(
+                f"{self.name} only supports synchronous message exchange "
+                f"(requested window={window})"
+            )
+
+
+def perpetual_ws_mode() -> RestrictedMode:
+    return RestrictedMode(
+        name="Perpetual-WS",
+        cost_model=MAC_COST_MODEL,
+        replicated_callers=True,
+        asynchronous=True,
+    )
+
+
+def thema_mode() -> RestrictedMode:
+    return RestrictedMode(
+        name="Thema",
+        cost_model=MAC_COST_MODEL,
+        replicated_callers=False,
+        asynchronous=False,
+    )
+
+
+def bft_ws_mode() -> RestrictedMode:
+    return RestrictedMode(
+        name="BFT-WS",
+        cost_model=SIGNATURE_COST_MODEL,
+        replicated_callers=False,
+        asynchronous=False,
+    )
+
+
+def sws_mode() -> RestrictedMode:
+    return RestrictedMode(
+        name="SWS",
+        cost_model=SIGNATURE_COST_MODEL,
+        replicated_callers=True,
+        asynchronous=False,
+    )
+
+
+ALL_MODES = (perpetual_ws_mode(), thema_mode(), bft_ws_mode(), sws_mode())

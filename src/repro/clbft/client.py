@@ -1,0 +1,92 @@
+"""Standalone CLBFT client proxy.
+
+Used when CLBFT serves an unreplicated edge client directly (the paper's
+baseline n=1 callers, and the pure-PBFT tests): the client sends its
+request to the primary, retransmits by multicast on timeout, and accepts a
+result once ``f + 1`` replicas report matching values (a weak certificate
+— at least one correct replica vouches).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.clbft.config import GroupConfig
+from repro.clbft.messages import ClientRequest, Reply
+from repro.crypto.digest import digest_hex
+
+RETRANSMIT_TIMER = "clbft-client-retransmit"
+
+
+class ClbftClient:
+    """Sans-IO client endpoint for one CLBFT group."""
+
+    def __init__(
+        self,
+        name: str,
+        config: GroupConfig,
+        send_to: Callable[[int, Any], None],
+        set_timer: Callable[[str, int], None],
+        cancel_timer: Callable[[str], None],
+        on_result: Callable[[int, Any], None],
+        retransmit_timeout_us: int = 400_000,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._send_to = send_to
+        self._set_timer = set_timer
+        self._cancel_timer = cancel_timer
+        self._on_result = on_result
+        self._timeout_us = retransmit_timeout_us
+
+        self._next_timestamp = 1
+        self._view_hint = 0
+        # timestamp -> {replica: result-digest}, plus one representative value.
+        self._votes: dict[int, dict[int, str]] = {}
+        self._values: dict[tuple[int, str], Any] = {}
+        self._outstanding: dict[int, ClientRequest] = {}
+        self.completed = 0
+
+    def invoke(self, op: Any) -> int:
+        """Submit ``op``; returns the timestamp identifying the call."""
+        timestamp = self._next_timestamp
+        self._next_timestamp += 1
+        request = ClientRequest(client=self.name, timestamp=timestamp, op=op)
+        self._outstanding[timestamp] = request
+        self._send_to(self.config.primary_of(self._view_hint), request)
+        self._set_timer(RETRANSMIT_TIMER, self._timeout_us)
+        return timestamp
+
+    def on_timer(self, tag: str) -> None:
+        if tag != RETRANSMIT_TIMER or not self._outstanding:
+            return
+        # Retransmit every outstanding request to the whole group; replicas
+        # relay to the primary and their timers protect liveness.
+        for request in self._outstanding.values():
+            for index in range(self.config.n):
+                self._send_to(index, request)
+        self._set_timer(RETRANSMIT_TIMER, self._timeout_us)
+
+    def on_reply(self, src_index: int, reply: Reply) -> None:
+        if reply.client != self.name or reply.replica != src_index:
+            return
+        timestamp = reply.timestamp
+        if timestamp not in self._outstanding:
+            return
+        value_key = digest_hex(("reply", reply.result))
+        votes = self._votes.setdefault(timestamp, {})
+        votes[src_index] = value_key
+        self._values[(timestamp, value_key)] = reply.result
+        self._view_hint = max(self._view_hint, reply.view)
+        matching = [r for r, v in votes.items() if v == value_key]
+        if len(matching) >= self.config.weak:
+            del self._outstanding[timestamp]
+            self._votes.pop(timestamp, None)
+            result = self._values.pop((timestamp, value_key))
+            self._values = {
+                k: v for k, v in self._values.items() if k[0] != timestamp
+            }
+            self.completed += 1
+            if not self._outstanding:
+                self._cancel_timer(RETRANSMIT_TIMER)
+            self._on_result(timestamp, result)

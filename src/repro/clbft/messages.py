@@ -1,0 +1,188 @@
+"""CLBFT protocol messages and their wire codec.
+
+Messages are frozen dataclasses; the codec converts them to and from the
+canonical-JSON-safe structures of :mod:`repro.common.encoding` so they can
+be MAC'd and shipped by the ChannelAdapter. View-change and new-view
+messages embed other messages (checkpoint and prepared-certificate
+proofs), which the codec handles recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from repro.common.errors import ProtocolError
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls):
+    """Class decorator adding a message type to the codec registry."""
+    _REGISTRY[cls.KIND] = cls
+    return cls
+
+
+def message_to_wire(msg: Any) -> Any:
+    """Recursively convert a message (or container of them) to plain data."""
+    if isinstance(msg, tuple):
+        return {"__seq__": "tuple", "v": [message_to_wire(m) for m in msg]}
+    if isinstance(msg, list):
+        return {"__seq__": "list", "v": [message_to_wire(m) for m in msg]}
+    if isinstance(msg, dict):
+        return {"__seq__": "dict", "v": {k: message_to_wire(v) for k, v in msg.items()}}
+    kind = getattr(msg, "KIND", None)
+    if kind is None:
+        return msg
+    body = {}
+    for f in fields(msg):
+        body[f.name] = message_to_wire(getattr(msg, f.name))
+    return {"__msg__": kind, "v": body}
+
+
+def message_from_wire(data: Any) -> Any:
+    """Inverse of :func:`message_to_wire`."""
+    if isinstance(data, dict):
+        if "__msg__" in data:
+            kind = data["__msg__"]
+            cls = _REGISTRY.get(kind)
+            if cls is None:
+                raise ProtocolError(f"unknown message kind: {kind!r}")
+            body = {k: message_from_wire(v) for k, v in data["v"].items()}
+            return cls(**body)
+        if "__seq__" in data:
+            shape = data["__seq__"]
+            if shape == "tuple":
+                return tuple(message_from_wire(v) for v in data["v"])
+            if shape == "list":
+                return [message_from_wire(v) for v in data["v"]]
+            if shape == "dict":
+                return {k: message_from_wire(v) for k, v in data["v"].items()}
+            raise ProtocolError(f"unknown sequence shape: {shape!r}")
+        return {k: message_from_wire(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [message_from_wire(v) for v in data]
+    return data
+
+
+@register
+@dataclass(frozen=True)
+class ClientRequest:
+    """An operation submitted for agreement.
+
+    ``client`` identifies the submitting principal; ``timestamp`` is the
+    client's monotonically increasing issue number (used for exactly-once
+    execution and reply caching); ``op`` is the opaque operation payload.
+    In Perpetual, voter groups submit agreement items through this same
+    message with the item key as the client identity.
+    """
+
+    KIND: ClassVar[str] = "request"
+    client: str
+    timestamp: int
+    op: Any
+
+
+@register
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal for a batch of requests."""
+
+    KIND: ClassVar[str] = "pre-prepare"
+    view: int
+    seqno: int
+    digest: bytes
+    requests: tuple
+
+    def payload_tuple(self) -> tuple:
+        return (self.view, self.seqno, self.digest)
+
+
+@register
+@dataclass(frozen=True)
+class Prepare:
+    """Backup's agreement to the primary's proposal."""
+
+    KIND: ClassVar[str] = "prepare"
+    view: int
+    seqno: int
+    digest: bytes
+    replica: int
+
+
+@register
+@dataclass(frozen=True)
+class Commit:
+    """Second-phase vote: the sender holds a prepared certificate."""
+
+    KIND: ClassVar[str] = "commit"
+    view: int
+    seqno: int
+    digest: bytes
+    replica: int
+
+
+@register
+@dataclass(frozen=True)
+class Reply:
+    """Execution result returned to the submitting client."""
+
+    KIND: ClassVar[str] = "reply"
+    view: int
+    timestamp: int
+    client: str
+    replica: int
+    result: Any
+
+
+@register
+@dataclass(frozen=True)
+class Checkpoint:
+    """Proof-of-state message multicast every K sequence numbers."""
+
+    KIND: ClassVar[str] = "checkpoint"
+    seqno: int
+    state_digest: bytes
+    replica: int
+
+
+@register
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence that a request prepared at the sender: the pre-prepare
+    plus 2f matching prepares (authenticators checked on receipt of the
+    containing view-change)."""
+
+    KIND: ClassVar[str] = "prepared-proof"
+    pre_prepare: PrePrepare
+    prepares: tuple
+
+
+@register
+@dataclass(frozen=True)
+class ViewChange:
+    """Vote to move to ``new_view``.
+
+    ``stable_seqno`` / ``checkpoint_proof`` establish the sender's stable
+    checkpoint; ``prepared`` carries a :class:`PreparedProof` per in-flight
+    sequence number above it.
+    """
+
+    KIND: ClassVar[str] = "view-change"
+    new_view: int
+    stable_seqno: int
+    checkpoint_proof: tuple
+    prepared: tuple
+    replica: int
+
+
+@register
+@dataclass(frozen=True)
+class NewView:
+    """New primary's view installation: 2f+1 view-changes plus the
+    pre-prepares it re-issues for in-flight sequence numbers."""
+
+    KIND: ClassVar[str] = "new-view"
+    view: int
+    view_changes: tuple
+    pre_prepares: tuple

@@ -1,0 +1,109 @@
+"""Canonical, deterministic serialisation.
+
+Every byte string that is MAC'd, digested, or compared across replicas must
+be produced identically on every host. We use a canonical subset of JSON
+(sorted keys, no whitespace, UTF-8) plus a tagging scheme for the small set
+of non-JSON types that cross replica boundaries (bytes, tuples, and the
+typed identifiers from :mod:`repro.common.ids`).
+
+This plays the role of the paper's wire marshaling: the Perpetual prototype
+serialises Java objects, Axis2 serialises XML; here one canonical codec
+serves both layers so that digests computed by different replicas agree.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import MessageId, NodeId, ReplicaId, RequestId, ServiceId
+
+_TAG = "__repro__"
+
+
+def _tagged(kind: str, value: Any) -> dict[str, Any]:
+    return {_TAG: kind, "v": value}
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into canonical-JSON-safe structures."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # Floats are forbidden in replica-visible payloads: IEEE formatting
+        # and arithmetic reassociation are a determinism hazard. Applications
+        # use integers (e.g. cents, milliseconds) instead.
+        raise ProtocolError(f"floats are not canonically encodable: {obj!r}")
+    if isinstance(obj, bytes):
+        return _tagged("bytes", base64.b64encode(obj).decode("ascii"))
+    if isinstance(obj, ServiceId):
+        return _tagged("service", obj.name)
+    if isinstance(obj, ReplicaId):
+        return _tagged("replica", [obj.service.name, obj.index])
+    if isinstance(obj, NodeId):
+        return _tagged("node", [obj.service.name, obj.index, obj.role])
+    if isinstance(obj, RequestId):
+        return _tagged("request", [obj.origin.name, obj.seqno])
+    if isinstance(obj, MessageId):
+        return _tagged("msgid", obj.value)
+    if isinstance(obj, tuple):
+        return _tagged("tuple", [_to_jsonable(v) for v in obj])
+    if isinstance(obj, list):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ProtocolError(f"non-string dict key not encodable: {key!r}")
+            out[key] = _to_jsonable(value)
+        return out
+    raise ProtocolError(f"type {type(obj).__name__} is not canonically encodable")
+
+
+def _from_jsonable(obj: Any) -> Any:
+    if isinstance(obj, list):
+        return [_from_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        kind = obj.get(_TAG)
+        if kind is None:
+            return {k: _from_jsonable(v) for k, v in obj.items()}
+        value = obj["v"]
+        if kind == "bytes":
+            return base64.b64decode(value)
+        if kind == "service":
+            return ServiceId(value)
+        if kind == "replica":
+            return ReplicaId(ServiceId(value[0]), value[1])
+        if kind == "node":
+            return NodeId(ReplicaId(ServiceId(value[0]), value[1]), value[2])
+        if kind == "request":
+            return RequestId(ServiceId(value[0]), value[1])
+        if kind == "msgid":
+            return MessageId(value)
+        if kind == "tuple":
+            return tuple(_from_jsonable(v) for v in value)
+        raise ProtocolError(f"unknown canonical tag: {kind!r}")
+    return obj
+
+
+def canonical_encode(obj: Any) -> bytes:
+    """Encode ``obj`` to canonical bytes (stable across hosts and runs)."""
+    jsonable = _to_jsonable(obj)
+    return json.dumps(
+        jsonable, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Alias of :func:`canonical_encode` for application payloads."""
+    return canonical_encode(obj)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`canonical_encode`."""
+    try:
+        return _from_jsonable(json.loads(data.decode("ascii")))
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        raise ProtocolError(f"malformed canonical payload: {exc}") from exc

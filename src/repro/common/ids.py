@@ -1,0 +1,134 @@
+"""Typed identifiers used across the middleware.
+
+The paper's architecture names four kinds of principals:
+
+- a *service* (a logical web service, e.g. ``"bank"``), replicated or not;
+- a *replica* of a service (an index within the group);
+- a *node* (a single voter or driver process on one host);
+- a *request* (one logical operation, correlated via WS-Addressing
+  ``wsa:messageID`` / ``wsa:relatesTo``).
+
+Identifiers are plain frozen dataclasses so they hash, sort, and serialise
+deterministically — determinism of every value that crosses a replica
+boundary is a correctness requirement, not a style preference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass(frozen=True, order=True)
+class ServiceId:
+    """Logical name of a (possibly replicated) web service."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class ReplicaId:
+    """A replica within a service group: ``service`` plus zero-based index."""
+
+    service: ServiceId
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.service}[{self.index}]"
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """A single process: the voter or the driver half of a replica.
+
+    The paper co-locates the voter and driver of replica *i* on one host
+    but treats them as distinct protocol participants (Figure 1), so the
+    node identity carries the role.
+    """
+
+    VOTER: ClassVar[str] = "voter"
+    DRIVER: ClassVar[str] = "driver"
+
+    replica: ReplicaId
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.role not in (self.VOTER, self.DRIVER):
+            raise ValueError(f"unknown node role: {self.role!r}")
+
+    @property
+    def service(self) -> ServiceId:
+        return self.replica.service
+
+    @property
+    def index(self) -> int:
+        return self.replica.index
+
+    def peer(self) -> "NodeId":
+        """The co-located node of the opposite role on the same host."""
+        other = self.DRIVER if self.role == self.VOTER else self.VOTER
+        return NodeId(self.replica, other)
+
+    def __str__(self) -> str:
+        return f"{self.replica}/{self.role}"
+
+
+def voter(service: str | ServiceId, index: int) -> NodeId:
+    """Convenience constructor for a voter node id."""
+    sid = service if isinstance(service, ServiceId) else ServiceId(service)
+    return NodeId(ReplicaId(sid, index), NodeId.VOTER)
+
+
+def driver(service: str | ServiceId, index: int) -> NodeId:
+    """Convenience constructor for a driver node id."""
+    sid = service if isinstance(service, ServiceId) else ServiceId(service)
+    return NodeId(ReplicaId(sid, index), NodeId.DRIVER)
+
+
+@dataclass(frozen=True, order=True)
+class RequestId:
+    """Correlates one logical request across tiers.
+
+    ``origin`` is the calling service; ``seqno`` is the caller's local,
+    deterministic issue number. Because every correct calling replica runs
+    the same deterministic application, all replicas assign the same
+    ``seqno`` to the same logical request — this is what lets the target
+    primary collect ``fc + 1`` *matching* requests (Figure 1, stage 2).
+    """
+
+    origin: ServiceId
+    seqno: int
+
+    def __str__(self) -> str:
+        return f"{self.origin}#{self.seqno}"
+
+
+class RequestIdAllocator:
+    """Deterministic per-caller allocator of :class:`RequestId` values."""
+
+    def __init__(self, origin: ServiceId, start: int = 0) -> None:
+        self._origin = origin
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> RequestId:
+        return RequestId(self._origin, next(self._counter))
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """WS-Addressing ``wsa:messageID`` value (section 5.1).
+
+    Layered above :class:`RequestId`: the SOAP layer correlates on message
+    ids while the Perpetual layer correlates on request ids; keeping them
+    distinct mirrors the paper's separation between the Axis2 engine and
+    the Perpetual core.
+    """
+
+    value: str = field(default="")
+
+    def __str__(self) -> str:
+        return self.value

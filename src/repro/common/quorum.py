@@ -1,0 +1,78 @@
+"""Quorum arithmetic for Byzantine fault tolerance.
+
+The paper uses the standard state-machine-replication bounds: a group of
+``n = 3f + 1`` replicas tolerates ``f`` Byzantine faults (footnote 1), with
+
+- CLBFT agreement quorums of ``2f + 1`` (Castro & Liskov),
+- ``f + 1`` *weak certificates* (at least one correct replica attests),
+- the target primary waiting for ``fc + 1`` matching requests from calling
+  drivers before starting agreement (Figure 1, stage 2),
+- the responder collecting ``ft + 1`` matching replies into the reply
+  bundle (stage 6).
+
+All the arithmetic lives here so protocol modules never hand-roll it.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+
+def group_size(f: int) -> int:
+    """Number of replicas needed to tolerate ``f`` Byzantine faults."""
+    if f < 0:
+        raise ConfigurationError(f"fault bound must be non-negative, got {f}")
+    return 3 * f + 1
+
+
+def fault_bound(n: int) -> int:
+    """Maximum Byzantine faults tolerated by a group of ``n`` replicas.
+
+    Accepts any ``n >= 1``; a group of 1..3 tolerates zero faults, matching
+    the paper's use of unreplicated (n=1) endpoints as the baseline.
+    """
+    if n < 1:
+        raise ConfigurationError(f"group size must be positive, got {n}")
+    return (n - 1) // 3
+
+
+def agreement_quorum(n: int) -> int:
+    """CLBFT prepared/committed certificate size.
+
+    For the canonical ``n = 3f + 1`` groups this is exactly ``2f + 1``;
+    for over-provisioned or non-aligned sizes the generalised form
+    ``ceil((n + f + 1) / 2)`` keeps the two invariants safety and
+    liveness rest on: any two quorums intersect in at least ``f + 1``
+    replicas, and a quorum exists among the ``n - f`` correct ones.
+    """
+    f = fault_bound(n)
+    return (n + f + 2) // 2
+
+
+def weak_certificate(n: int) -> int:
+    """Smallest set guaranteed to contain a correct replica: ``f + 1``."""
+    return fault_bound(n) + 1
+
+
+def matching_request_quorum(n_calling: int) -> int:
+    """Matching requests the target primary needs before agreement.
+
+    ``fc + 1`` matching requests guarantee at least one came from a correct
+    calling replica, so the request really was issued by the calling
+    service's deterministic application (stage 2 of Figure 1).
+    """
+    return weak_certificate(n_calling)
+
+
+def reply_bundle_quorum(n_target: int) -> int:
+    """Matching replies the responder bundles for the caller: ``ft + 1``."""
+    return weak_certificate(n_target)
+
+
+def validate_group(n: int, f: int) -> None:
+    """Check that ``n`` replicas can actually tolerate ``f`` faults."""
+    if n < group_size(f):
+        raise ConfigurationError(
+            f"{n} replicas cannot tolerate {f} Byzantine faults; "
+            f"need at least {group_size(f)}"
+        )

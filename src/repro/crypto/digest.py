@@ -1,0 +1,31 @@
+"""Canonical message digests.
+
+Digests are the unit of agreement: CLBFT agrees on request digests and the
+Perpetual responder matches replies by digest. Both replicas of any
+correct pair must compute the same digest for the same logical message, so
+digests are always taken over :func:`repro.common.encoding.canonical_encode`
+output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.common.encoding import canonical_encode
+
+DIGEST_BYTES = 32
+
+
+def digest(obj: Any) -> bytes:
+    """SHA-256 digest of the canonical encoding of ``obj``."""
+    if isinstance(obj, bytes):
+        data = obj
+    else:
+        data = canonical_encode(obj)
+    return hashlib.sha256(data).digest()
+
+
+def digest_hex(obj: Any) -> str:
+    """Hex form of :func:`digest`, convenient for logs and dict keys."""
+    return digest(obj).hex()

@@ -1,0 +1,52 @@
+"""Pairwise session keys between protocol principals.
+
+The Perpetual prototype establishes SSL sessions and MAC keys between every
+communicating pair (section 2.1.2). Here a :class:`KeyStore` derives the
+pairwise key deterministically from a deployment-wide root secret and the
+two principal identities, which models a completed key exchange without
+simulating the handshake itself. Faulty-replica tests exercise the failure
+path by handing a node a key store with a different root secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.common.ids import NodeId
+
+_KEY_BYTES = 32
+
+
+class KeyStore:
+    """Derives and caches symmetric keys for (sender, receiver) pairs.
+
+    The pair key is symmetric in the principals — ``key(a, b) == key(b, a)``
+    — matching MAC-based channel authentication where both ends hold the
+    same session key.
+    """
+
+    def __init__(self, root_secret: bytes) -> None:
+        if not root_secret:
+            raise ValueError("root secret must be non-empty")
+        self._root = root_secret
+        self._cache: dict[tuple[str, str], bytes] = {}
+
+    @classmethod
+    def for_deployment(cls, deployment_name: str) -> "KeyStore":
+        """Key store for a named deployment (same name -> same keys)."""
+        seed = hashlib.sha256(f"repro-keys:{deployment_name}".encode()).digest()
+        return cls(seed)
+
+    def pair_key(self, a: NodeId | str, b: NodeId | str) -> bytes:
+        """The shared key between principals ``a`` and ``b``."""
+        name_a, name_b = str(a), str(b)
+        if name_b < name_a:
+            name_a, name_b = name_b, name_a
+        cached = self._cache.get((name_a, name_b))
+        if cached is not None:
+            return cached
+        material = f"{name_a}|{name_b}".encode()
+        key = hmac.new(self._root, material, hashlib.sha256).digest()[:_KEY_BYTES]
+        self._cache[(name_a, name_b)] = key
+        return key

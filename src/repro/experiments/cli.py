@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.experiments fig7          # full Figure 7 grid
+    python -m repro.experiments fig8 --calls 40
+    python -m repro.experiments fig9
+    python -m repro.experiments fig6 --duration 30
+    python -m repro.experiments fig2
+    python -m repro.experiments ablations
+
+Prints the same series the corresponding benchmark regenerates; useful
+for quick sweeps without the pytest harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def _fig2(args) -> None:
+    from repro.baselines.features import render_matrix
+
+    print(render_matrix())
+
+
+def _fig6(args) -> None:
+    from repro.tpcw.harness import figure6_series
+
+    for result in figure6_series(
+        rbe_counts=tuple(args.rbes),
+        group_sizes=tuple(args.groups),
+        duration_s=args.duration,
+    ):
+        print(result.row())
+
+
+def _fig7(args) -> None:
+    from repro.experiments.microbench import figure7_series
+
+    for result in figure7_series(
+        group_sizes=tuple(args.groups), total_calls=args.calls
+    ):
+        print(result.row())
+
+
+def _fig8(args) -> None:
+    from repro.experiments.microbench import figure8_series
+
+    for result in figure8_series(
+        group_sizes=tuple(args.groups), total_calls=args.calls
+    ):
+        print(result.row())
+
+
+def _fig9(args) -> None:
+    from repro.experiments.microbench import figure9_series
+
+    for result in figure9_series(total_calls=args.calls):
+        print(result.row())
+
+
+def _ablations(args) -> None:
+    from repro.experiments.ablations import crypto_ablation, reply_path_ablation
+
+    print("-- MAC vs signatures")
+    for row in crypto_ablation(total_calls=args.calls):
+        print(
+            f"n={row.n}: MAC {row.mac_rps:.1f} rps, "
+            f"signatures {row.signature_rps:.1f} rps "
+            f"({row.slowdown:.2f}x slowdown)"
+        )
+    print("-- responder bundling vs all-to-all")
+    for row in reply_path_ablation():
+        print(
+            f"nt={row.n_target} nc={row.n_calling}: "
+            f"{row.responder_messages} vs {row.all_to_all_messages} msgs "
+            f"({row.savings_factor:.1f}x saving)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate figures from the Perpetual-WS paper.",
+    )
+    sub = parser.add_subparsers(dest="figure", required=True)
+
+    handlers = {
+        "fig2": _fig2, "fig6": _fig6, "fig7": _fig7,
+        "fig8": _fig8, "fig9": _fig9, "ablations": _ablations,
+    }
+    for name in handlers:
+        p = sub.add_parser(name)
+        p.add_argument("--calls", type=int, default=100,
+                       help="logical calls per configuration")
+        p.add_argument("--duration", type=float, default=45.0,
+                       help="TPC-W simulated seconds (fig6)")
+        p.add_argument("--groups", type=int, nargs="+",
+                       default=[1, 4, 7, 10], help="replica group sizes")
+        p.add_argument("--rbes", type=int, nargs="+",
+                       default=[7, 21, 42], help="RBE counts (fig6)")
+
+    args = parser.parse_args(argv)
+    handlers[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

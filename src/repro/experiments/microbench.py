@@ -1,0 +1,209 @@
+"""The two-tier micro-benchmarks of paper section 6.2.
+
+One harness covers Figures 7, 8, and 9: a calling service and a target
+service, both deployed with Perpetual-WS, with throughput and completion
+time measured at the calling service (replica 0's driver, as the paper
+records at the calling web service).
+
+- Figure 7: ``run_two_tier`` with null requests over the
+  {1,4,7,10} x {1,4,7,10} replication grid;
+- Figure 8: ``run_two_tier`` with ``cpu_ms`` request processing time swept
+  over 0..20 ms at n_t = n_c in {1,4,7,10};
+- Figure 9: ``run_async_window`` sweeping the parallel-request window
+  over {1,5,10,20,25} at n_t = n_c in {4,7,10}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.counter import counter_app
+from repro.apps.digest import digest_app
+from repro.apps.workloads import (
+    CompletionRecorder,
+    async_window_caller,
+    sync_closed_loop_caller,
+)
+from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.sim.kernel import US_PER_S
+from repro.ws.deployment import Deployment
+
+# Replication degrees measured by the paper's micro-benchmarks.
+PAPER_GROUP_SIZES = (1, 4, 7, 10)
+PAPER_WINDOWS = (1, 5, 10, 20, 25)
+
+DEFAULT_CALLS = 150
+MAX_SIM_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One cell of a micro-benchmark sweep."""
+
+    n_calling: int
+    n_target: int
+    window: int
+    cpu_ms: int
+    completed: int
+    aborted: int
+    duration_s: float
+    throughput_rps: float
+    ms_per_request: float
+
+    def row(self) -> str:
+        return (
+            f"nc={self.n_calling:<3d} nt={self.n_target:<3d} "
+            f"window={self.window:<3d} cpu={self.cpu_ms:>2d}ms  "
+            f"{self.throughput_rps:8.1f} req/s  "
+            f"{self.ms_per_request:7.3f} ms/req"
+        )
+
+
+def _run(
+    n_calling: int,
+    n_target: int,
+    caller_factory,
+    target_factory,
+    total_calls: int,
+    window: int,
+    cpu_ms: int,
+    cost_model: CryptoCostModel,
+) -> MicrobenchResult:
+    deployment = Deployment(name=f"micro-{n_calling}-{n_target}-{window}-{cpu_ms}")
+    deployment.declare("caller", n_calling)
+    deployment.declare("target", n_target)
+    deployment.add_service("target", target_factory, cost_model=cost_model)
+    caller = deployment.add_service("caller", caller_factory, cost_model=cost_model)
+    deployment.run(seconds=MAX_SIM_SECONDS)
+
+    driver = caller.group.drivers[0]
+    completed = driver.completed_calls
+    start_us = driver.first_issue_us or 0
+    duration_us = max(driver.last_completion_us - start_us, 1)
+    duration_s = duration_us / US_PER_S
+    throughput = completed / duration_s if completed else 0.0
+    ms_per_request = (duration_us / 1000.0 / completed) if completed else float("inf")
+    return MicrobenchResult(
+        n_calling=n_calling,
+        n_target=n_target,
+        window=window,
+        cpu_ms=cpu_ms,
+        completed=completed,
+        aborted=driver.aborted_calls,
+        duration_s=duration_s,
+        throughput_rps=throughput,
+        ms_per_request=ms_per_request,
+    )
+
+
+def run_two_tier(
+    n_calling: int,
+    n_target: int,
+    total_calls: int = DEFAULT_CALLS,
+    cpu_ms: int = 0,
+    cost_model: CryptoCostModel = MAC_COST_MODEL,
+) -> MicrobenchResult:
+    """Closed-loop synchronous two-tier benchmark (Figures 7 and 8).
+
+    ``cpu_ms == 0`` uses the increment null-operation service; positive
+    values use the digest service burning that much CPU per request.
+    """
+    recorder = CompletionRecorder()
+    if cpu_ms > 0:
+        target_factory = digest_app
+        body = {"cpu_us": cpu_ms * 1000}
+    else:
+        target_factory = counter_app
+        body = {}
+    caller_factory = sync_closed_loop_caller(
+        target="target", total_calls=total_calls, recorder=recorder, body=body
+    )
+    return _run(
+        n_calling=n_calling,
+        n_target=n_target,
+        caller_factory=caller_factory,
+        target_factory=target_factory,
+        total_calls=total_calls,
+        window=1,
+        cpu_ms=cpu_ms,
+        cost_model=cost_model,
+    )
+
+
+def run_async_window(
+    n_calling: int,
+    n_target: int,
+    window: int,
+    total_calls: int = DEFAULT_CALLS,
+    cpu_ms: int = 0,
+    cost_model: CryptoCostModel = MAC_COST_MODEL,
+) -> MicrobenchResult:
+    """Windowed asynchronous two-tier benchmark (Figure 9)."""
+    recorder = CompletionRecorder()
+    if cpu_ms > 0:
+        target_factory = digest_app
+        body = {"cpu_us": cpu_ms * 1000}
+    else:
+        target_factory = counter_app
+        body = {}
+    caller_factory = async_window_caller(
+        target="target",
+        total_calls=total_calls,
+        window=window,
+        recorder=recorder,
+        body=body,
+    )
+    return _run(
+        n_calling=n_calling,
+        n_target=n_target,
+        caller_factory=caller_factory,
+        target_factory=target_factory,
+        total_calls=total_calls,
+        window=window,
+        cpu_ms=cpu_ms,
+        cost_model=cost_model,
+    )
+
+
+def figure7_series(
+    group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
+    total_calls: int = DEFAULT_CALLS,
+) -> list[MicrobenchResult]:
+    """The full Figure 7 grid: throughput vs n_c for each n_t."""
+    results = []
+    for n_target in group_sizes:
+        for n_calling in group_sizes:
+            results.append(
+                run_two_tier(n_calling, n_target, total_calls=total_calls)
+            )
+    return results
+
+
+def figure8_series(
+    group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
+    cpu_points_ms: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20),
+    total_calls: int = DEFAULT_CALLS,
+) -> list[MicrobenchResult]:
+    """The Figure 8 sweep: completion time vs processing CPU time."""
+    results = []
+    for n in group_sizes:
+        for cpu_ms in cpu_points_ms:
+            results.append(
+                run_two_tier(n, n, total_calls=total_calls, cpu_ms=cpu_ms)
+            )
+    return results
+
+
+def figure9_series(
+    group_sizes: tuple[int, ...] = (4, 7, 10),
+    windows: tuple[int, ...] = PAPER_WINDOWS,
+    total_calls: int = DEFAULT_CALLS,
+) -> list[MicrobenchResult]:
+    """The Figure 9 sweep: throughput vs parallel async window size."""
+    results = []
+    for n in group_sizes:
+        for window in windows:
+            results.append(
+                run_async_window(n, n, window=window, total_calls=total_calls)
+            )
+    return results

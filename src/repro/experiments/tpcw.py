@@ -1,0 +1,55 @@
+"""Figure 6 and the section 6.4 async-vs-sync claim (TXT-A).
+
+Thin experiment-level wrappers over :mod:`repro.tpcw.harness` keeping the
+per-figure entry points in one package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpcw.harness import TpcwResult, figure6_series, run_tpcw
+
+__all__ = ["AsyncVsSyncResult", "async_vs_sync", "figure6_series", "run_tpcw"]
+
+
+@dataclass(frozen=True)
+class AsyncVsSyncResult:
+    """The section 6.4 comparison: asynchronous vs synchronous PGE/Bank."""
+
+    async_result: TpcwResult
+    sync_result: TpcwResult
+
+    @property
+    def gain_percent(self) -> float:
+        if self.sync_result.wips == 0:
+            return 0.0
+        return (
+            (self.async_result.wips - self.sync_result.wips)
+            / self.sync_result.wips
+            * 100.0
+        )
+
+
+def async_vs_sync(
+    rbe_count: int = 42,
+    n_pge: int = 4,
+    duration_s: float = 60.0,
+    think_time_mean_us: int = 7_000_000,
+) -> AsyncVsSyncResult:
+    """Run the same TPC-W configuration with async and sync PGE/Bank."""
+    async_result = run_tpcw(
+        rbe_count=rbe_count,
+        n_pge=n_pge,
+        duration_s=duration_s,
+        synchronous_pge=False,
+        think_time_mean_us=think_time_mean_us,
+    )
+    sync_result = run_tpcw(
+        rbe_count=rbe_count,
+        n_pge=n_pge,
+        duration_s=duration_s,
+        synchronous_pge=True,
+        think_time_mean_us=think_time_mean_us,
+    )
+    return AsyncVsSyncResult(async_result=async_result, sync_result=sync_result)

@@ -1,0 +1,337 @@
+"""The Perpetual driver node.
+
+One driver runs per service replica, co-located with the replica's voter.
+The driver hosts the *executor* — the application's deterministic thread
+of computation — and performs the active sides of Figure 1:
+
+- stage 1: ship the executor's out-calls to the target voter primary,
+  authenticated for every target voter, with retransmission to the whole
+  target group (and deterministic responder rotation) on timeout;
+- stage 4: hand the executor's replies to the co-located voter;
+- stage 7: verify reply bundles from target responders (``ft + 1``
+  distinct voter MACs over the result) and echo the verified result to
+  the calling voter group;
+- timeouts: when an out-call carried a timeout, propose the deterministic
+  abort to the voter group when it expires.
+
+All state the executor observes flows through voter agreement, so every
+correct replica's executor sees the identical event sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.clbft.messages import message_from_wire, message_to_wire
+from repro.common.ids import RequestId, RequestIdAllocator, ServiceId
+from repro.crypto.auth import AuthenticatorFactory
+from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.crypto.keys import KeyStore
+from repro.perpetual.executor import (
+    AppFactory,
+    ExecutorRuntime,
+    ReplyEvent,
+    RequestEvent,
+    Send,
+)
+from repro.perpetual.messages import (
+    AgreedEvent,
+    LocalResult,
+    OutRequest,
+    ReplyBundle,
+    ResultSubmission,
+    UtilityRequest,
+    reply_auth_bytes,
+)
+from repro.perpetual.voter import driver_name, principal_index, voter_name
+from repro.sim.kernel import ProtocolNode, SimNodeEnv, US_PER_MS
+from repro.transport.channel import ChannelAdapter
+from repro.transport.connection import SimConnection
+from repro.transport.wire import WireEnvelope, auth_from_wire
+
+RETRANSMIT_TIMEOUT_US = 250_000
+
+
+class DriverNode(ProtocolNode):
+    """One Perpetual driver, bound to the simulation kernel."""
+
+    def __init__(
+        self,
+        topology,
+        service: str,
+        index: int,
+        keys: KeyStore,
+        app_factory: AppFactory,
+        cost_model: CryptoCostModel = MAC_COST_MODEL,
+        retransmit_timeout_us: int = RETRANSMIT_TIMEOUT_US,
+    ) -> None:
+        self.topology = topology
+        self.service = service
+        self.index = index
+        self.name = driver_name(service, index)
+        self._keys = keys
+        self._cost_model = cost_model
+        self._retransmit_timeout_us = retransmit_timeout_us
+        self._env: SimNodeEnv | None = None
+        self._channel: ChannelAdapter | None = None
+        self._allocator = RequestIdAllocator(ServiceId(service), start=1)
+        self.runtime = ExecutorRuntime(
+            app_factory=app_factory,
+            allocate_request_id=self._allocator.next_id,
+        )
+        # Out-calls awaiting a reply: request-id -> the Send effect's data.
+        self._outstanding: dict[RequestId, OutRequest] = {}
+        self._timeouts_ms: dict[RequestId, int | None] = {}
+        self._echoed: set[RequestId] = set()
+        self._util_seq = 0
+
+        # Observability.
+        self.completed_calls = 0
+        self.aborted_calls = 0
+        self.first_issue_us: int | None = None
+        self.last_completion_us: int = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, env: SimNodeEnv) -> None:
+        self._env = env
+        self._channel = ChannelAdapter(
+            me=self.name,
+            keys=self._keys,
+            connection=SimConnection(env),
+            charge=env.charge,
+            cost_model=self._cost_model,
+        )
+
+    @property
+    def voter(self) -> str:
+        return voter_name(self.service, self.index)
+
+    def _own_voters(self) -> list[str]:
+        spec = self.topology.spec(self.service)
+        return [voter_name(self.service, i) for i in range(spec.n)]
+
+    # ------------------------------------------------------------------
+    # Kernel entry points
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        # Active applications may compute and issue out-calls before any
+        # message arrives (the long-running thread of section 4.1).
+        self._pump()
+
+    def on_message(self, src: Any, msg: Any) -> None:
+        if isinstance(msg, WireEnvelope):
+            decoded = self._channel.accept(msg)
+            if decoded is None:
+                return
+            sender = self._channel.sender_of(msg)
+            protocol_msg = message_from_wire(decoded)
+            if isinstance(protocol_msg, ReplyBundle):
+                self._on_reply_bundle(sender, protocol_msg)
+            return
+        if isinstance(msg, AgreedEvent):
+            self._on_agreed_event(msg)
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == "sleep":
+            self.runtime.deliver_wakeup()
+            self._pump()
+            return
+        kind, request_id = tag
+        if request_id not in self._outstanding:
+            return
+        if kind == "rtx":
+            self._retransmit(request_id)
+        elif kind == "abort":
+            self._propose_abort(request_id)
+
+    # ------------------------------------------------------------------
+    # Executor pump
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Resume the executor and act on everything it emitted."""
+        self.runtime.step()
+        outbox = self.runtime.take_outbox()
+        if outbox.compute_us:
+            self._env.charge(outbox.compute_us)
+        for request_id, send in outbox.sends:
+            self._issue(request_id, send)
+        for reply in outbox.replies:
+            self._env.local_deliver(
+                self.voter,
+                LocalResult(
+                    request_id=reply.request.request_id, result=reply.payload
+                ),
+            )
+        if outbox.utility is not None:
+            self._util_seq += 1
+            self._env.local_deliver(
+                self.voter,
+                UtilityRequest(util_seq=self._util_seq, utility=outbox.utility),
+            )
+        if outbox.sleep_us is not None:
+            self._env.set_timer("sleep", outbox.sleep_us)
+
+    # ------------------------------------------------------------------
+    # Stage 1: issuing out-calls
+    # ------------------------------------------------------------------
+
+    def _issue(self, request_id: RequestId, send: Send) -> None:
+        spec = self.topology.spec(send.target)
+        request = OutRequest(
+            request_id=request_id,
+            caller=ServiceId(self.service),
+            target=ServiceId(send.target),
+            payload=send.payload,
+            responder_index=request_id.seqno % spec.n,
+            attempt=0,
+        )
+        self._outstanding[request_id] = request
+        self._timeouts_ms[request_id] = send.timeout_ms
+        if self.first_issue_us is None:
+            self.first_issue_us = self._env.now_us()
+        self._transmit_request(request, to_all=False)
+        self._env.set_timer(("rtx", request_id), self._retransmit_timeout_us)
+        if send.timeout_ms is not None:
+            self._env.set_timer(("abort", request_id), send.timeout_ms * US_PER_MS)
+
+    def _transmit_request(self, request: OutRequest, to_all: bool) -> None:
+        """Send a stage-1 request, authenticated for every target voter.
+
+        The primary-only fast path matches the paper; retransmissions go
+        to the whole group, whose members relay to their current primary.
+        """
+        spec = self.topology.spec(str(request.target))
+        voters = [voter_name(str(request.target), i) for i in range(spec.n)]
+        payload = message_to_wire(request)
+        if to_all:
+            self._multisend(voters, voters, payload)
+        else:
+            primary_hint = voter_name(str(request.target), 0)
+            self._multisend(voters, [primary_hint], payload)
+
+    def _multisend(
+        self, audience: list[str], recipients: list[str], payload: Any
+    ) -> None:
+        """Authenticate for ``audience`` but transmit only to ``recipients``."""
+        from repro.common.encoding import canonical_encode
+
+        data = canonical_encode(payload)
+        self._env.charge(self._cost_model.authenticator_cost_us(len(audience)))
+        factory = AuthenticatorFactory(self._keys, self.name)
+        envelope = WireEnvelope(payload=data, auth=factory.sign(data, audience))
+        for recipient in recipients:
+            self._env.send(recipient, envelope, size_bytes=envelope.size_bytes)
+
+    def _retransmit(self, request_id: RequestId) -> None:
+        request = self._outstanding[request_id]
+        spec = self.topology.spec(str(request.target))
+        retried = OutRequest(
+            request_id=request.request_id,
+            caller=request.caller,
+            target=request.target,
+            payload=request.payload,
+            responder_index=(request.responder_index + 1) % spec.n,
+            attempt=request.attempt + 1,
+        )
+        self._outstanding[request_id] = retried
+        self._transmit_request(retried, to_all=True)
+        self._env.set_timer(("rtx", request_id), self._retransmit_timeout_us)
+
+    # ------------------------------------------------------------------
+    # Stage 7: reply bundles
+    # ------------------------------------------------------------------
+
+    def _on_reply_bundle(self, sender: str, bundle: ReplyBundle) -> None:
+        request = self._outstanding.get(bundle.request_id)
+        if request is None or bundle.request_id in self._echoed:
+            return
+        target = str(request.target)
+        sender_index = principal_index(sender)
+        if sender_index is None or sender != voter_name(target, sender_index):
+            return
+        if not self._verify_bundle(target, bundle):
+            return
+        self._echoed.add(bundle.request_id)
+        submission = ResultSubmission(
+            request_id=bundle.request_id, result=bundle.result
+        )
+        self._echo_submission(submission)
+
+    def _verify_bundle(self, target: str, bundle: ReplyBundle) -> bool:
+        """Check ``ft + 1`` distinct target voters vouch for the result."""
+        spec = self.topology.spec(target)
+        data = reply_auth_bytes(bundle.request_id, bundle.result)
+        factory = AuthenticatorFactory(self._keys, self.name)
+        vouching = set()
+        for voter_index, wire_auth in bundle.vouchers:
+            self._env.charge(self._cost_model.verification_cost_us())
+            try:
+                auth = auth_from_wire(wire_auth)
+            except (ValueError, TypeError):
+                continue
+            if auth.sender != voter_name(target, voter_index):
+                continue
+            if factory.verify(data, auth):
+                vouching.add(voter_index)
+        return len(vouching) >= spec.f + 1
+
+    def _echo_submission(self, submission: ResultSubmission) -> None:
+        """Echo a verified (or timed-out) result to every calling voter."""
+        wire = message_to_wire(submission)
+        remote = [v for v in self._own_voters() if v != self.voter]
+        if remote:
+            self._channel.multicast(remote, wire)
+        self._env.local_deliver(self.voter, submission)
+
+    def _propose_abort(self, request_id: RequestId) -> None:
+        self._echo_submission(
+            ResultSubmission(request_id=request_id, result=None, aborted=True)
+        )
+
+    # ------------------------------------------------------------------
+    # Stages 3 and 9: agreed events from the voter
+    # ------------------------------------------------------------------
+
+    def _on_agreed_event(self, event: AgreedEvent) -> None:
+        if event.kind == "request":
+            body = event.body
+            self.runtime.deliver_request(
+                RequestEvent(
+                    request_id=body["request_id"],
+                    caller=body["caller"],
+                    payload=body["payload"],
+                    responder_index=body["responder_index"],
+                )
+            )
+        elif event.kind == "reply":
+            body = event.body
+            request_id = body["request_id"]
+            self._settle(request_id)
+            self.last_completion_us = self._env.now_us()
+            if body["aborted"]:
+                self.aborted_calls += 1
+            else:
+                self.completed_calls += 1
+            self.runtime.deliver_reply(
+                ReplyEvent(
+                    request_id=request_id,
+                    payload=body["value"],
+                    aborted=body["aborted"],
+                )
+            )
+        elif event.kind == "utility":
+            body = event.body
+            self.runtime.deliver_utility(body["utility"], body["value"])
+        self._pump()
+
+    def _settle(self, request_id: RequestId) -> None:
+        self._outstanding.pop(request_id, None)
+        self._timeouts_ms.pop(request_id, None)
+        self._echoed.discard(request_id)
+        self._env.cancel_timer(("rtx", request_id))
+        self._env.cancel_timer(("abort", request_id))

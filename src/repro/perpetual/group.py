@@ -1,0 +1,126 @@
+"""Topology and deployment of Perpetual service groups.
+
+:class:`Topology` is the in-memory form of the paper's ``replicas.xml``
+(section 5.2): every deployment ships a static map from service name to
+replica-group description because UDDI cannot resolve replicated endpoint
+references. :class:`ServiceGroup` deploys one service's voters and drivers
+on the simulation kernel, co-locating each replica's pair on one simulated
+host CPU exactly as the paper co-locates them on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.config import ServiceSpec, make_spec
+from repro.common.errors import ConfigurationError
+from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.crypto.keys import KeyStore
+from repro.perpetual.driver import DriverNode
+from repro.perpetual.executor import AppFactory
+from repro.perpetual.voter import VoterNode, driver_name, voter_name
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Topology:
+    """The deployment-wide service registry (``replicas.xml`` stand-in)."""
+
+    specs: dict[str, ServiceSpec] = field(default_factory=dict)
+
+    def add(self, name: str, n: int) -> ServiceSpec:
+        spec = make_spec(name, n)
+        self.specs[name] = spec
+        return spec
+
+    def spec(self, name: str) -> ServiceSpec:
+        try:
+            return self.specs[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"service {name!r} is not in the deployment topology"
+            ) from None
+
+    def spec_or_none(self, name: str) -> ServiceSpec | None:
+        return self.specs.get(name)
+
+    def services(self) -> list[str]:
+        return sorted(self.specs)
+
+
+@dataclass
+class ServiceGroup:
+    """A deployed replica group: n co-located (voter, driver) pairs."""
+
+    service: str
+    voters: list[VoterNode]
+    drivers: list[DriverNode]
+
+    @property
+    def n(self) -> int:
+        return len(self.voters)
+
+    def completed_calls(self) -> int:
+        """Out-calls completed, as observed by replica 0's driver."""
+        return self.drivers[0].completed_calls
+
+    def aborted_calls(self) -> int:
+        return self.drivers[0].aborted_calls
+
+    def delivered_requests(self) -> int:
+        return self.voters[0].delivered_requests
+
+
+def deploy_service(
+    sim: Simulator,
+    topology: Topology,
+    keys: KeyStore,
+    service: str,
+    app_factory: AppFactory,
+    cost_model: CryptoCostModel = MAC_COST_MODEL,
+    clbft_overrides: dict | None = None,
+    retransmit_timeout_us: int | None = None,
+    hosts: list[str] | None = None,
+) -> ServiceGroup:
+    """Deploy every replica of ``service`` onto the simulator.
+
+    The voter and driver of replica ``i`` share the simulated host
+    ``{service}/h{i}`` so their work serialises on one CPU, matching the
+    paper's co-location of both halves on a single machine. ``hosts``
+    overrides the host names, letting several services share machines
+    (the TPC-W setup runs every RBE on one host).
+    """
+    spec = topology.spec(service)
+    voters: list[VoterNode] = []
+    drivers: list[DriverNode] = []
+    for index in range(spec.n):
+        host = hosts[index] if hosts is not None else f"{service}/h{index}"
+        voter = VoterNode(
+            topology=topology,
+            service=service,
+            index=index,
+            keys=keys,
+            cost_model=cost_model,
+            clbft_overrides=clbft_overrides,
+        )
+        env = sim.add_node(voter_name(service, index), voter, host=host)
+        voter.attach(env)
+        voters.append(voter)
+
+        driver_kwargs: dict[str, Any] = {}
+        if retransmit_timeout_us is not None:
+            driver_kwargs["retransmit_timeout_us"] = retransmit_timeout_us
+        drv = DriverNode(
+            topology=topology,
+            service=service,
+            index=index,
+            keys=keys,
+            app_factory=app_factory,
+            cost_model=cost_model,
+            **driver_kwargs,
+        )
+        env = sim.add_node(driver_name(service, index), drv, host=host)
+        drv.attach(env)
+        drivers.append(drv)
+    return ServiceGroup(service=service, voters=voters, drivers=drivers)

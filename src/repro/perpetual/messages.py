@@ -1,0 +1,223 @@
+"""Perpetual wire messages and agreement items.
+
+The protocol of Figure 1 adds four message types around the two CLBFT
+instances:
+
+- :class:`OutRequest`   — stage 1: calling driver -> target voter primary;
+- :class:`ReplyForward` — stage 5: target voter -> responder voter;
+- :class:`ReplyBundle`  — stage 6: responder -> every calling driver;
+- :class:`ResultSubmission` — stage 7: calling driver -> calling voters.
+
+Plus the *local* (same-host) messages between a replica's driver and voter,
+and the construction of CLBFT agreement items. Agreement items are
+:class:`repro.clbft.messages.ClientRequest` values whose ``(client,
+timestamp)`` identity is derived deterministically from the item content
+so that every correct voter submits the *same* item and CLBFT's dedup
+applies; non-deterministic fields (utility values) are filled in by the
+primary only, as in PBFT's standard treatment of non-determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.clbft.messages import ClientRequest, register
+from repro.common.ids import RequestId, ServiceId
+
+# Agreement item kinds (the "op" dict carries a matching "kind" field).
+ITEM_REQUEST = "req"
+ITEM_RESULT = "result"
+ITEM_UTILITY = "util"
+ITEM_ABORT = "abort"
+
+
+@register
+@dataclass(frozen=True)
+class OutRequest:
+    """Stage 1: one calling driver's copy of an outgoing request.
+
+    The authenticator on the carrying envelope covers *all* target voters,
+    so the target primary can embed ``fc + 1`` matching envelopes in the
+    agreement item as proof the calling service issued the request, and
+    every target voter can verify its own MAC entry in each.
+
+    ``responder_index`` designates the target voter that will bundle the
+    replies (stage 6); the caller rotates it deterministically so retries
+    of a request route around a faulty responder.
+    """
+
+    KIND: ClassVar[str] = "perp-out-request"
+    request_id: RequestId
+    caller: ServiceId
+    target: ServiceId
+    payload: Any
+    responder_index: int
+    attempt: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class ReplyForward:
+    """Stage 5: a target voter's reply, routed via the responder.
+
+    ``auth`` is the voter's MAC authenticator over ``(request_id, result)``
+    with one entry per *calling driver* (flattened wire form); the
+    responder cannot forge it and the calling drivers can each verify
+    their own entry.
+    """
+
+    KIND: ClassVar[str] = "perp-reply-forward"
+    request_id: RequestId
+    result: Any
+    voter_index: int
+    auth: list
+
+
+@register
+@dataclass(frozen=True)
+class ReplyBundle:
+    """Stage 6: the responder's bundle of ``ft + 1`` matching replies."""
+
+    KIND: ClassVar[str] = "perp-reply-bundle"
+    request_id: RequestId
+    result: Any
+    vouchers: tuple  # tuple of (voter_index, wire-auth) pairs
+
+
+@register
+@dataclass(frozen=True)
+class ResultSubmission:
+    """Stage 7: a calling driver's verified result, echoed to its voters.
+
+    A correct voter treats the result as valid when its *co-located*
+    driver echoed it (same failure domain) or when ``fc + 1`` distinct
+    drivers did (at least one correct host vouches).
+    """
+
+    KIND: ClassVar[str] = "perp-result-submission"
+    request_id: RequestId
+    result: Any
+    aborted: bool = False
+
+
+@register
+@dataclass(frozen=True)
+class UtilityRequest:
+    """Local driver -> voter: the executor needs an agreed utility value."""
+
+    KIND: ClassVar[str] = "perp-utility-request"
+    util_seq: int
+    utility: str  # "time" | "timestamp" | "random"
+
+
+@register
+@dataclass(frozen=True)
+class AbortRequest:
+    """Local driver -> voter: a request's timeout fired; propose abort."""
+
+    KIND: ClassVar[str] = "perp-abort-request"
+    request_id: RequestId
+
+
+@register
+@dataclass(frozen=True)
+class LocalResult:
+    """Local driver -> voter, stage 4: the executor's reply to an incoming
+    request, ready for forwarding to the responder."""
+
+    KIND: ClassVar[str] = "perp-local-result"
+    request_id: RequestId
+    result: Any
+
+
+@register
+@dataclass(frozen=True)
+class AgreedEvent:
+    """Local voter -> driver, stages 3 and 9: one agreed event.
+
+    ``kind`` selects the payload interpretation: an incoming request, a
+    reply to an out-call, an agreed utility value, or an abort decision.
+    """
+
+    KIND: ClassVar[str] = "perp-agreed-event"
+    kind: str
+    body: Any
+
+
+# ---------------------------------------------------------------------------
+# Agreement item construction
+# ---------------------------------------------------------------------------
+
+
+def request_item(out_request_wire: Any, proof: list) -> ClientRequest:
+    """Agreement item for an external request (submitted by the target
+    primary with the ``fc + 1`` supporting envelopes as proof)."""
+    request_id = _wire_request_id(out_request_wire)
+    return ClientRequest(
+        client=f"{ITEM_REQUEST}/{request_id}",
+        timestamp=0,
+        op={"kind": ITEM_REQUEST, "request": out_request_wire, "proof": proof},
+    )
+
+
+def result_item(request_id: RequestId, result: Any, aborted: bool = False) -> ClientRequest:
+    """Agreement item for the result of one of the service's out-calls."""
+    return ClientRequest(
+        client=f"{ITEM_RESULT}/{request_id}",
+        timestamp=0,
+        op={
+            "kind": ITEM_RESULT,
+            "request_id": request_id,
+            "value": result,
+            "aborted": aborted,
+        },
+    )
+
+
+def utility_item(util_seq: int, utility: str, value: int | None) -> ClientRequest:
+    """Agreement item for a deterministic utility value.
+
+    All voters submit the value-free form (identical identity); the
+    primary's proposal carries its chosen ``value``. CLBFT agrees on the
+    primary's version; bounds checking is the validation hook's job.
+    """
+    op: dict[str, Any] = {"kind": ITEM_UTILITY, "utility": utility}
+    if value is not None:
+        op["value"] = value
+    return ClientRequest(client=ITEM_UTILITY, timestamp=util_seq, op=op)
+
+
+def abort_item(request_id: RequestId) -> ClientRequest:
+    """Agreement item for the deterministic abort of an out-call."""
+    return ClientRequest(
+        client=f"{ITEM_ABORT}/{request_id}",
+        timestamp=0,
+        op={"kind": ITEM_ABORT, "request_id": request_id},
+    )
+
+
+def reply_auth_bytes(request_id: RequestId, result: Any) -> bytes:
+    """Canonical bytes both ends MAC for stage-5/6 reply vouchers.
+
+    Target voters sign these bytes for the calling drivers; calling
+    drivers recompute them from the bundle to verify each voucher.
+    """
+    from repro.clbft.messages import message_to_wire
+    from repro.common.encoding import canonical_encode
+
+    return canonical_encode((request_id, message_to_wire(result)))
+
+
+def item_kind(request: ClientRequest) -> str:
+    op = request.op
+    if isinstance(op, dict):
+        return op.get("kind", "")
+    return ""
+
+
+def _wire_request_id(out_request_wire: Any) -> Any:
+    """Extract the request id from a wire-form OutRequest dict."""
+    if isinstance(out_request_wire, dict) and "v" in out_request_wire:
+        return out_request_wire["v"].get("request_id")
+    return out_request_wire

@@ -1,0 +1,165 @@
+"""Deterministic scheduling of multiple application coroutines.
+
+Paper section 7 plans "a deterministic thread scheduler for Perpetual-WS
+... [to] write multi-threaded Web Service applications", citing
+deterministic-multithreading work. This module provides that extension
+within the coroutine model: :func:`round_robin` composes several
+generator applications into one deterministic executor application.
+
+Scheduling policy: strict round-robin over *runnable* coroutines. A
+coroutine blocked on an unsatisfiable receive is skipped; because
+runnability is a pure function of the agreed event sequence, every
+replica makes the identical scheduling decisions — the property the
+cited deterministic schedulers enforce for Java threads.
+
+Receives are partitioned to keep semantics well-defined: each coroutine
+declares a ``match`` predicate over incoming request payloads; replies
+are routed to the coroutine that issued the request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterator
+
+from repro.common.errors import ExecutorViolation
+from repro.perpetual.executor import (
+    Compute,
+    ReceiveReply,
+    ReceiveRequest,
+    ReplyEvent,
+    RequestEvent,
+    Send,
+    SendReply,
+)
+
+
+class _Thread:
+    """One scheduled coroutine and its blocking state."""
+
+    def __init__(self, name: str, gen: Generator,
+                 match: Callable[[Any], bool]) -> None:
+        self.name = name
+        self.gen = gen
+        self.match = match
+        self.waiting: Any = None          # effect blocked on, or None
+        self.resume_value: Any = None      # value to deliver when runnable
+        self.runnable = True
+        self.finished = False
+        self.started = False
+
+
+def round_robin(
+    threads: list[tuple[str, Callable[[], Generator], Callable[[Any], bool]]],
+) -> Callable[[], Iterator[Any]]:
+    """Compose ``(name, app_factory, request_match)`` triples into one app.
+
+    The composed application multiplexes the Perpetual event queue across
+    the coroutines deterministically. Non-blocking effects (Send,
+    SendReply, Compute) pass straight through; ReceiveRequest and
+    ReceiveReply block only the issuing coroutine.
+    """
+
+    def app() -> Iterator[Any]:
+        table = [_Thread(name, factory(), match) for name, factory, match in threads]
+        rid_owner: dict[Any, _Thread] = {}
+        pending_requests: list[RequestEvent] = []
+        pending_replies: list[ReplyEvent] = []
+
+        def step(thread: _Thread, value: Any):
+            """Advance one coroutine until it blocks; yields pass-throughs."""
+            send_value = value
+            while True:
+                try:
+                    if not thread.started:
+                        thread.started = True
+                        effect = thread.gen.send(None)
+                    else:
+                        effect = thread.gen.send(send_value)
+                except StopIteration:
+                    thread.finished = True
+                    thread.runnable = False
+                    return
+                if isinstance(effect, (SendReply, Compute)):
+                    send_value = yield effect
+                elif isinstance(effect, Send):
+                    rid = yield effect
+                    rid_owner[rid] = thread
+                    send_value = rid
+                elif isinstance(effect, (ReceiveRequest, ReceiveReply)):
+                    thread.waiting = effect
+                    thread.runnable = False
+                    return
+                else:
+                    raise ExecutorViolation(
+                        f"scheduler thread {thread.name} yielded "
+                        f"unsupported effect {effect!r}"
+                    )
+
+        def try_unblock(thread: _Thread) -> bool:
+            """Satisfy a blocked coroutine from the buffered events."""
+            effect = thread.waiting
+            if isinstance(effect, ReceiveRequest):
+                for i, event in enumerate(pending_requests):
+                    if thread.match(event.payload):
+                        pending_requests.pop(i)
+                        thread.waiting = None
+                        thread.runnable = True
+                        thread.resume_value = event
+                        return True
+                return False
+            if isinstance(effect, ReceiveReply):
+                for i, event in enumerate(pending_replies):
+                    owner = rid_owner.get(event.request_id)
+                    if owner is not thread:
+                        continue
+                    if effect.request is not None and event.request_id != effect.request:
+                        continue
+                    pending_replies.pop(i)
+                    rid_owner.pop(event.request_id, None)
+                    thread.waiting = None
+                    thread.runnable = True
+                    thread.resume_value = event
+                    return True
+                return False
+            return False
+
+        while True:
+            progressed = False
+            for thread in table:
+                if thread.finished:
+                    continue
+                if not thread.runnable:
+                    try_unblock(thread)
+                if thread.runnable:
+                    value, thread.resume_value = thread.resume_value, None
+                    yield from step(thread, value)
+                    progressed = True
+            if all(t.finished for t in table):
+                return
+            if progressed:
+                continue
+            # Every live coroutine is blocked: pull one event from the
+            # queue. ReceiveRequest if any coroutine wants requests,
+            # otherwise a reply; buffered until someone matches.
+            wants_requests = any(
+                isinstance(t.waiting, ReceiveRequest) for t in table if not t.finished
+            )
+            wants_replies = any(
+                isinstance(t.waiting, ReceiveReply) for t in table if not t.finished
+            )
+            if wants_requests and not wants_replies:
+                event = yield ReceiveRequest()
+                pending_requests.append(event)
+            elif wants_replies and not wants_requests:
+                event = yield ReceiveReply()
+                pending_replies.append(event)
+            else:
+                from repro.perpetual.executor import ReceiveAny
+
+                event = yield ReceiveAny()
+                if isinstance(event, RequestEvent):
+                    pending_requests.append(event)
+                else:
+                    pending_replies.append(event)
+
+    return app

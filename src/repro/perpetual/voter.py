@@ -1,0 +1,671 @@
+"""The Perpetual voter node.
+
+One voter runs per service replica, co-located with that replica's driver
+(paper section 2.1, Figure 1). The voter:
+
+- embeds a CLBFT replica and uses it to agree on every event the local
+  driver's executor will consume: external requests (stage 2), results of
+  the service's own out-calls (stage 8), agreed utility values, and
+  deterministic abort decisions;
+- collects stage-1 request copies from calling drivers and, when primary,
+  starts agreement once ``fc + 1`` matching copies arrived — the embedded
+  envelope proof lets every backup re-verify this before preparing;
+- forwards the local executor's replies to the designated responder
+  (stage 5) and, when acting as responder, bundles ``ft + 1`` matching
+  replies for the calling drivers (stage 6);
+- validates result/abort/utility agreement items against what its own
+  co-located driver reported, deferring pre-prepares it cannot validate
+  yet (PBFT external validity) rather than rejecting them.
+
+Fault isolation falls out of the quorum checks here: fewer than ``fc + 1``
+faulty calling replicas cannot inject a request, and a compromised target
+cannot break the calling group's safety because the result consumed by the
+application is whatever the calling group's own CLBFT instance agreed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.clbft.config import GroupConfig
+from repro.clbft.messages import (
+    ClientRequest,
+    PrePrepare,
+    message_from_wire,
+    message_to_wire,
+)
+from repro.clbft.replica import ClbftReplica
+from repro.common.encoding import canonical_encode, decode_payload
+from repro.common.ids import RequestId
+from repro.crypto.auth import AuthenticatorFactory
+from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.crypto.digest import digest_hex
+from repro.crypto.keys import KeyStore
+from repro.perpetual.messages import (
+    ITEM_ABORT,
+    ITEM_REQUEST,
+    ITEM_RESULT,
+    ITEM_UTILITY,
+    AbortRequest,
+    AgreedEvent,
+    LocalResult,
+    OutRequest,
+    ReplyBundle,
+    ReplyForward,
+    ResultSubmission,
+    UtilityRequest,
+    abort_item,
+    item_kind,
+    reply_auth_bytes,
+    request_item,
+    result_item,
+    utility_item,
+)
+from repro.sim.kernel import ProtocolNode, SimNodeEnv
+from repro.transport.channel import ChannelAdapter
+from repro.transport.connection import SimConnection
+from repro.transport.wire import (
+    WireEnvelope,
+    auth_to_wire,
+    envelope_from_wire,
+    envelope_to_wire,
+)
+
+# Simulated epoch so agreed clock values resemble wall-clock milliseconds
+# (the paper's experiments ran in late 2007).
+EPOCH_MS = 1_190_000_000_000
+
+# Cap on remembered replies/requests, standing in for the checkpoint-driven
+# garbage collection of the Perpetual technical report.
+REPLY_CACHE_LIMIT = 4096
+
+
+def voter_name(service: str, index: int) -> str:
+    return f"{service}/v{index}"
+
+
+def driver_name(service: str, index: int) -> str:
+    return f"{service}/d{index}"
+
+
+def principal_index(name: str) -> int | None:
+    """Replica index from a ``service/vN`` or ``service/dN`` name."""
+    _, _, tail = name.rpartition("/")
+    if len(tail) >= 2 and tail[0] in ("v", "d") and tail[1:].isdigit():
+        return int(tail[1:])
+    return None
+
+
+def request_match_key(req: OutRequest) -> str:
+    """Digest identifying 'matching' stage-1 copies.
+
+    Retries rotate ``responder_index`` and bump ``attempt``; copies still
+    match if the logical request — id, caller, target, payload — agrees.
+    """
+    return digest_hex(
+        (
+            "out-request",
+            req.request_id,
+            req.caller,
+            req.target,
+            message_to_wire(req.payload),
+        )
+    )
+
+
+def result_match_key(request_id: RequestId, result: Any, aborted: bool) -> str:
+    return digest_hex(("result", request_id, message_to_wire(result), aborted))
+
+
+class VoterNode(ProtocolNode):
+    """One Perpetual voter, bound to the simulation kernel."""
+
+    def __init__(
+        self,
+        topology,
+        service: str,
+        index: int,
+        keys: KeyStore,
+        cost_model: CryptoCostModel = MAC_COST_MODEL,
+        clbft_overrides: dict | None = None,
+    ) -> None:
+        self.topology = topology
+        self.service = service
+        self.index = index
+        self.name = voter_name(service, index)
+        self._keys = keys
+        self._cost_model = cost_model
+        spec = topology.spec(service)
+        overrides = clbft_overrides or {}
+        self.config = GroupConfig(n=spec.n, **overrides)
+        self._env: SimNodeEnv | None = None
+        self._channel: ChannelAdapter | None = None
+        self.replica: ClbftReplica | None = None
+
+        # Stage-2 collection: match-key -> {calling driver name: (envelope, req)}.
+        self._request_copies: dict[str, dict[str, tuple[WireEnvelope, OutRequest]]] = {}
+        # Executed external requests: request-id -> agreed OutRequest meta.
+        self._incoming_meta: dict[RequestId, OutRequest] = {}
+        # Local executor replies, kept for re-forwarding on retries.
+        self._reply_store: dict[RequestId, ReplyForward] = {}
+        # Responder duty: request-id -> {voter index: ReplyForward}.
+        self._responder_collect: dict[RequestId, dict[int, ReplyForward]] = {}
+        self._responder_sent: set[RequestId] = set()
+        # Stage-7 echoes from drivers: request-id -> {driver idx: match key}.
+        self._result_echoes: dict[RequestId, dict[int, str]] = {}
+        self._own_echo: dict[RequestId, tuple[str, ResultSubmission]] = {}
+        # Utility requests from the co-located driver.
+        self._own_utility: dict[int, str] = {}
+        self._util_submitted: set[int] = set()
+        # Out-call results already delivered to (or aborted for) the driver.
+        self._delivered_results: set[RequestId] = set()
+        # Pre-prepares awaiting external validity (deferred, then retried).
+        self._deferred: list[tuple[int, PrePrepare]] = []
+
+        # Observability.
+        self.delivered_requests = 0
+        self.delivered_replies = 0
+        self.delivered_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, env: SimNodeEnv) -> None:
+        self._env = env
+        self._channel = ChannelAdapter(
+            me=self.name,
+            keys=self._keys,
+            connection=SimConnection(env),
+            charge=env.charge,
+            cost_model=self._cost_model,
+        )
+        self.replica = ClbftReplica(
+            config=self.config,
+            index=self.index,
+            execute=self._execute_item,
+            multicast=self._clbft_multicast,
+            send_to=self._clbft_send_to,
+            set_timer=env.set_timer,
+            cancel_timer=env.cancel_timer,
+            on_new_view=self._on_clbft_new_view,
+        )
+
+    @property
+    def driver(self) -> str:
+        return driver_name(self.service, self.index)
+
+    def _sibling_voters(self) -> list[str]:
+        spec = self.topology.spec(self.service)
+        return [
+            voter_name(self.service, i)
+            for i in range(spec.n)
+            if i != self.index
+        ]
+
+    def _clbft_multicast(self, msg: Any) -> None:
+        self._channel.multicast(self._sibling_voters(), message_to_wire(msg))
+
+    def _clbft_send_to(self, index: int, msg: Any) -> None:
+        if index == self.index:
+            self.replica.on_message(index, msg)
+        else:
+            self._channel.send(
+                voter_name(self.service, index), message_to_wire(msg)
+            )
+
+    # ------------------------------------------------------------------
+    # Kernel entry points
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: Any, msg: Any) -> None:
+        if isinstance(msg, WireEnvelope):
+            self._on_network(msg)
+        else:
+            self._on_local(msg)
+
+    def on_timer(self, tag: Any) -> None:
+        self.replica.on_timer(tag)
+
+    # -- network messages ---------------------------------------------------
+
+    def _on_network(self, envelope: WireEnvelope) -> None:
+        decoded = self._channel.accept(envelope)
+        if decoded is None:
+            return
+        sender = self._channel.sender_of(envelope)
+        msg = message_from_wire(decoded)
+        if isinstance(msg, OutRequest):
+            self._on_out_request(sender, envelope, msg)
+        elif isinstance(msg, ReplyForward):
+            self._on_reply_forward(sender, msg)
+        elif isinstance(msg, ResultSubmission):
+            index = principal_index(sender)
+            if index is not None and sender == driver_name(self.service, index):
+                self._on_result_submission(index, msg, own=index == self.index)
+        elif isinstance(msg, PrePrepare):
+            self._on_clbft_pre_prepare(sender, msg)
+        else:
+            index = principal_index(sender)
+            if index is not None and sender == voter_name(self.service, index):
+                self.replica.on_message(index, msg)
+
+    # -- local (co-located driver) messages ------------------------------------
+
+    def _on_local(self, msg: Any) -> None:
+        if isinstance(msg, LocalResult):
+            self._on_local_result(msg)
+        elif isinstance(msg, ResultSubmission):
+            self._on_result_submission(self.index, msg, own=True)
+        elif isinstance(msg, UtilityRequest):
+            self._on_utility_request(msg)
+        elif isinstance(msg, AbortRequest):
+            self._on_abort_request(msg)
+
+    # ------------------------------------------------------------------
+    # Stage 1-2: external requests arrive
+    # ------------------------------------------------------------------
+
+    def _on_out_request(
+        self, sender: str, envelope: WireEnvelope, req: OutRequest
+    ) -> None:
+        if str(req.target) != self.service:
+            return
+        caller_spec = self.topology.spec_or_none(str(req.caller))
+        if caller_spec is None:
+            return
+        caller_index = principal_index(sender)
+        if caller_index is None or sender != driver_name(
+            str(req.caller), caller_index
+        ):
+            return  # stage-1 requests come only from calling drivers
+        if req.request_id in self._reply_store:
+            # Already executed: a retry routes the stored reply to the
+            # retry's responder (the fault-handling path for a faulty
+            # responder).
+            self._forward_reply(self._reply_store[req.request_id], req)
+            return
+        key = request_match_key(req)
+        copies = self._request_copies.setdefault(key, {})
+        copies[sender] = (envelope, req)
+        if self.replica.is_primary:
+            self._maybe_submit_external(key)
+        else:
+            # Relay the authenticated envelope to the current primary; its
+            # authenticator covers every target voter, so it stays
+            # verifiable end-to-end. Receiving a stage-1 copy is also
+            # evidence a request awaits ordering: arm the view-change
+            # timer so a dead or mute primary cannot stall the group
+            # (PBFT's client-request liveness rule).
+            primary = self.config.primary_of(self.replica.view)
+            if primary != self.index:
+                self._env.send(
+                    voter_name(self.service, primary),
+                    envelope,
+                    size_bytes=envelope.size_bytes,
+                )
+            from repro.clbft.replica import VIEW_CHANGE_TIMER
+
+            if not self._env.timer_armed(VIEW_CHANGE_TIMER):
+                self._env.set_timer(
+                    VIEW_CHANGE_TIMER, self.config.view_change_timeout_us
+                )
+
+    def _maybe_submit_external(self, key: str) -> None:
+        """Primary duty: start agreement once fc+1 matching copies exist."""
+        copies = self._request_copies.get(key)
+        if not copies:
+            return
+        sample = next(iter(copies.values()))[1]
+        caller_spec = self.topology.spec_or_none(str(sample.caller))
+        if caller_spec is None:
+            return
+        needed = caller_spec.f + 1
+        if len(copies) < needed:
+            return
+        proof = [
+            envelope_to_wire(env_)
+            for env_, _ in list(copies.values())[:needed]
+        ]
+        wire_req = message_to_wire(sample)
+        self.replica.submit(request_item(wire_req, proof))
+
+    def _on_clbft_new_view(self, new_view: int) -> None:
+        """Entering a view: if now primary, propose every request whose
+        fc+1 copies this voter already collected while a previous primary
+        was failing."""
+        if self.replica.is_primary:
+            for key in list(self._request_copies):
+                self._maybe_submit_external(key)
+
+    def _validate_request_item(self, item: ClientRequest) -> bool:
+        """Hard validity of a stage-2 agreement item (proof of fc+1 copies)."""
+        op = item.op
+        try:
+            agreed_req = message_from_wire(op["request"])
+            proof = [envelope_from_wire(p) for p in op["proof"]]
+        except Exception:
+            return False
+        if not isinstance(agreed_req, OutRequest):
+            return False
+        if str(agreed_req.target) != self.service:
+            return False
+        caller_spec = self.topology.spec_or_none(str(agreed_req.caller))
+        if caller_spec is None or len(proof) < caller_spec.f + 1:
+            return False
+        expected_key = request_match_key(agreed_req)
+        verifier = AuthenticatorFactory(self._keys, self.name)
+        senders = set()
+        for envelope in proof:
+            if not verifier.verify(envelope.payload, envelope.auth):
+                return False
+            copy = message_from_wire(decode_payload(envelope.payload))
+            if not isinstance(copy, OutRequest):
+                return False
+            if request_match_key(copy) != expected_key:
+                return False
+            sender = envelope.auth.sender
+            index = principal_index(sender)
+            if index is None or sender != driver_name(str(copy.caller), index):
+                return False
+            senders.add(sender)
+        return len(senders) >= caller_spec.f + 1
+
+    # ------------------------------------------------------------------
+    # Stage 4-6: local results, reply forwarding, responder duty
+    # ------------------------------------------------------------------
+
+    def _on_local_result(self, msg: LocalResult) -> None:
+        meta = self._incoming_meta.get(msg.request_id)
+        if meta is None:
+            return  # result for a request we never delivered (driver bug)
+        caller_drivers = self._caller_drivers(str(meta.caller))
+        auth = self._sign_for(
+            caller_drivers, reply_auth_bytes(msg.request_id, msg.result)
+        )
+        forward = ReplyForward(
+            request_id=msg.request_id,
+            result=msg.result,
+            voter_index=self.index,
+            auth=auth,
+        )
+        self._bounded_put(self._reply_store, msg.request_id, forward)
+        self._forward_reply(forward, meta)
+
+    def _sign_for(self, receivers: list[str], data: bytes) -> list:
+        """MAC authenticator over ``data`` for the calling drivers."""
+        self._env.charge(self._cost_model.authenticator_cost_us(len(receivers)))
+        factory = AuthenticatorFactory(self._keys, self.name)
+        return auth_to_wire(factory.sign(data, list(receivers)))
+
+    def _forward_reply(self, forward: ReplyForward, meta: OutRequest) -> None:
+        spec = self.topology.spec(self.service)
+        responder_index = meta.responder_index % spec.n
+        if responder_index == self.index:
+            self._collect_reply(forward, meta)
+        else:
+            self._channel.send(
+                voter_name(self.service, responder_index),
+                message_to_wire(forward),
+            )
+
+    def _on_reply_forward(self, sender: str, msg: ReplyForward) -> None:
+        index = principal_index(sender)
+        if index is None or sender != voter_name(self.service, index):
+            return
+        if index != msg.voter_index:
+            return
+        meta = self._incoming_meta.get(msg.request_id)
+        if meta is None:
+            return
+        self._collect_reply(msg, meta)
+
+    def _collect_reply(self, forward: ReplyForward, meta: OutRequest) -> None:
+        """Responder duty: bundle ft+1 matching replies (stage 6)."""
+        request_id = forward.request_id
+        if request_id in self._responder_sent:
+            return
+        collected = self._responder_collect.setdefault(request_id, {})
+        collected[forward.voter_index] = forward
+        spec = self.topology.spec(self.service)
+        by_value: dict[str, list[ReplyForward]] = {}
+        for fwd in collected.values():
+            key = result_match_key(request_id, fwd.result, False)
+            by_value.setdefault(key, []).append(fwd)
+        for matching in by_value.values():
+            if len(matching) >= spec.f + 1:
+                bundle = ReplyBundle(
+                    request_id=request_id,
+                    result=matching[0].result,
+                    vouchers=tuple(
+                        (fwd.voter_index, fwd.auth) for fwd in matching
+                    ),
+                )
+                for driver in self._caller_drivers(str(meta.caller)):
+                    self._channel.send(driver, message_to_wire(bundle))
+                self._responder_sent.add(request_id)
+                self._responder_collect.pop(request_id, None)
+                return
+
+    def _caller_drivers(self, caller: str) -> list[str]:
+        spec = self.topology.spec(caller)
+        return [driver_name(caller, i) for i in range(spec.n)]
+
+    # ------------------------------------------------------------------
+    # Stage 7-8: result submissions from calling drivers
+    # ------------------------------------------------------------------
+
+    def _on_result_submission(
+        self, driver_index: int, msg: ResultSubmission, own: bool = False
+    ) -> None:
+        if msg.request_id in self._delivered_results:
+            return
+        key = result_match_key(msg.request_id, msg.result, msg.aborted)
+        echoes = self._result_echoes.setdefault(msg.request_id, {})
+        echoes[driver_index] = key
+        if own:
+            self._own_echo[msg.request_id] = (key, msg)
+        self._maybe_submit_result(msg.request_id, key, msg)
+        self._retry_deferred()
+
+    def _maybe_submit_result(
+        self, request_id: RequestId, key: str, msg: ResultSubmission
+    ) -> None:
+        if not self._result_validated(request_id, key):
+            return
+        if msg.aborted:
+            self.replica.submit(abort_item(request_id))
+        else:
+            self.replica.submit(result_item(request_id, msg.result))
+
+    def _result_validated(self, request_id: RequestId, key: str) -> bool:
+        """Own-driver echo, or fc+1 distinct driver echoes, match ``key``."""
+        own = self._own_echo.get(request_id)
+        if own is not None and own[0] == key:
+            return True
+        spec = self.topology.spec(self.service)
+        echoes = self._result_echoes.get(request_id, {})
+        matching = [i for i, k in echoes.items() if k == key]
+        return len(matching) >= spec.f + 1
+
+    # ------------------------------------------------------------------
+    # Utilities and aborts (local driver requests)
+    # ------------------------------------------------------------------
+
+    def _on_utility_request(self, msg: UtilityRequest) -> None:
+        self._own_utility[msg.util_seq] = msg.utility
+        if msg.util_seq in self._util_submitted:
+            return
+        self._util_submitted.add(msg.util_seq)
+        value = None
+        if self.replica.is_primary:
+            value = self._propose_utility_value(msg.utility, msg.util_seq)
+        self.replica.submit(utility_item(msg.util_seq, msg.utility, value))
+        self._retry_deferred()
+
+    def _propose_utility_value(self, utility: str, util_seq: int) -> int:
+        """The primary's proposed value (paper section 4.2)."""
+        if utility in ("time", "timestamp"):
+            return EPOCH_MS + self._env.now_ms()
+        seed_material = f"{self.service}:{util_seq}:{self._env.now_us()}"
+        return int.from_bytes(
+            hashlib.sha256(seed_material.encode()).digest()[:8], "big"
+        )
+
+    def _on_abort_request(self, msg: AbortRequest) -> None:
+        self._on_result_submission(
+            self.index,
+            ResultSubmission(request_id=msg.request_id, result=None, aborted=True),
+            own=True,
+        )
+
+    # ------------------------------------------------------------------
+    # External validity: intercepting pre-prepares
+    # ------------------------------------------------------------------
+
+    def _on_clbft_pre_prepare(self, sender: str, msg: PrePrepare) -> None:
+        index = principal_index(sender)
+        if index is None or sender != voter_name(self.service, index):
+            return
+        verdict = self._validate_batch(msg.requests)
+        if verdict == "reject":
+            return
+        if verdict == "defer":
+            self._deferred.append((index, msg))
+            return
+        self.replica.on_message(index, msg)
+
+    def _validate_batch(self, requests: tuple) -> str:
+        """Validate every item in a batch: accept, reject, or defer."""
+        for item in requests:
+            kind = item_kind(item)
+            if kind == ITEM_REQUEST:
+                if not self._validate_request_item(item):
+                    return "reject"
+            elif kind in (ITEM_RESULT, ITEM_ABORT):
+                request_id = item.op.get("request_id")
+                if request_id in self._delivered_results:
+                    continue  # stale re-proposal; executing it is a no-op
+                aborted = kind == ITEM_ABORT
+                key = result_match_key(
+                    request_id, item.op.get("value"), aborted
+                )
+                if not self._result_validated(request_id, key):
+                    return "defer"
+            elif kind == ITEM_UTILITY:
+                if "value" not in item.op:
+                    return "reject"
+                wanted = self._own_utility.get(item.timestamp)
+                if wanted is None:
+                    return "defer"
+                if wanted != item.op.get("utility"):
+                    return "reject"
+        return "accept"
+
+    def _retry_deferred(self) -> None:
+        if not self._deferred:
+            return
+        pending, self._deferred = self._deferred, []
+        for index, msg in pending:
+            verdict = self._validate_batch(msg.requests)
+            if verdict == "accept":
+                self.replica.on_message(index, msg)
+            elif verdict == "defer":
+                self._deferred.append((index, msg))
+
+    # ------------------------------------------------------------------
+    # Stage 3 and 9: agreed items reach the local driver
+    # ------------------------------------------------------------------
+
+    def _execute_item(self, seqno: int, item: ClientRequest) -> Any:
+        kind = item_kind(item)
+        if kind == ITEM_REQUEST:
+            return self._deliver_request(item)
+        if kind == ITEM_RESULT:
+            return self._deliver_result(item)
+        if kind == ITEM_ABORT:
+            return self._deliver_abort(item)
+        if kind == ITEM_UTILITY:
+            return self._deliver_utility(item)
+        return None
+
+    def _deliver_request(self, item: ClientRequest) -> Any:
+        req = message_from_wire(item.op["request"])
+        self._bounded_put(self._incoming_meta, req.request_id, req)
+        self._request_copies.pop(request_match_key(req), None)
+        self.delivered_requests += 1
+        self._env.local_deliver(
+            self.driver,
+            AgreedEvent(
+                kind="request",
+                body={
+                    "request_id": req.request_id,
+                    "caller": str(req.caller),
+                    "payload": req.payload,
+                    "responder_index": req.responder_index,
+                },
+            ),
+        )
+        return {"delivered": str(req.request_id)}
+
+    def _deliver_result(self, item: ClientRequest) -> Any:
+        request_id = item.op["request_id"]
+        if request_id in self._delivered_results:
+            return {"duplicate": True}
+        self._delivered_results.add(request_id)
+        self._cleanup_result_state(request_id)
+        self.delivered_replies += 1
+        self._env.local_deliver(
+            self.driver,
+            AgreedEvent(
+                kind="reply",
+                body={
+                    "request_id": request_id,
+                    "value": item.op["value"],
+                    "aborted": False,
+                },
+            ),
+        )
+        return {"delivered": str(request_id)}
+
+    def _deliver_abort(self, item: ClientRequest) -> Any:
+        request_id = item.op["request_id"]
+        if request_id in self._delivered_results:
+            return {"duplicate": True}
+        self._delivered_results.add(request_id)
+        self._cleanup_result_state(request_id)
+        self.delivered_aborts += 1
+        self._env.local_deliver(
+            self.driver,
+            AgreedEvent(
+                kind="reply",
+                body={"request_id": request_id, "value": None, "aborted": True},
+            ),
+        )
+        return {"aborted": str(request_id)}
+
+    def _deliver_utility(self, item: ClientRequest) -> Any:
+        self._env.local_deliver(
+            self.driver,
+            AgreedEvent(
+                kind="utility",
+                body={
+                    "util_seq": item.timestamp,
+                    "utility": item.op["utility"],
+                    "value": item.op["value"],
+                },
+            ),
+        )
+        return {"utility": item.timestamp}
+
+    def _cleanup_result_state(self, request_id: RequestId) -> None:
+        self._result_echoes.pop(request_id, None)
+        self._own_echo.pop(request_id, None)
+
+    @staticmethod
+    def _bounded_put(store: dict, key: Any, value: Any) -> None:
+        """Insert with FIFO eviction once the cache limit is reached."""
+        if len(store) >= REPLY_CACHE_LIMIT:
+            store.pop(next(iter(store)))
+        store[key] = value

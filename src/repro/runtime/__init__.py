@@ -1,0 +1,14 @@
+"""The threaded in-process runtime.
+
+The discrete-event simulator (:mod:`repro.sim`) runs every experiment;
+this runtime runs the *same protocol nodes* on real OS threads with
+queue-based message passing, demonstrating that the sans-IO protocol
+layer is substrate-independent (the ChannelAdapter / Connection split of
+paper section 2.1.2) and giving the integration tests a genuinely
+concurrent environment — messages race, timers fire asynchronously, and
+the protocol must still converge.
+"""
+
+from repro.runtime.cluster import ThreadedCluster
+
+__all__ = ["ThreadedCluster"]

@@ -1,0 +1,222 @@
+"""A threaded cluster hosting the same protocol nodes as the simulator.
+
+Each node gets one consumer thread draining a thread-safe mailbox; a
+shared timer wheel thread services ``set_timer``. The environment object
+exposes the same duck-typed surface as :class:`repro.sim.kernel.SimNodeEnv`
+(``send``, ``local_deliver``, ``set_timer``, ``cancel_timer``, ``now_us``,
+``now_ms``, ``charge``), so voters, drivers, and CLBFT nodes run unchanged.
+
+``charge`` is a no-op here: real CPU time is real. Determinism holds per
+replica (the protocol guarantees it), but event interleaving across nodes
+is genuinely racy — which is the point of testing on this substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable
+
+from repro.sim.kernel import ProtocolNode
+
+
+class _TimerWheel:
+    """One thread servicing all nodes' timers."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._entries: dict[tuple[str, Any], object] = {}
+        self._seq = itertools.count()
+        self._cv = threading.Condition()
+        self._stopped = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def set_timer(self, node_key: str, tag: Any, delay_us: int,
+                  fire: Callable[[Any], None]) -> None:
+        deadline = time.monotonic() + delay_us / 1_000_000.0
+        entry = {"tag": tag, "fire": fire, "cancelled": False}
+        with self._cv:
+            old = self._entries.pop((node_key, tag), None)
+            if old is not None:
+                old["cancelled"] = True
+            self._entries[(node_key, tag)] = entry
+            heapq.heappush(self._heap, (deadline, next(self._seq), entry))
+            self._cv.notify()
+
+    def cancel_timer(self, node_key: str, tag: Any) -> None:
+        with self._cv:
+            entry = self._entries.pop((node_key, tag), None)
+            if entry is not None:
+                entry["cancelled"] = True
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._cv.notify()
+        self._thread.join(timeout=2)
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                if self._stopped:
+                    return
+                if not self._heap:
+                    self._cv.wait(timeout=0.1)
+                    continue
+                deadline, _, entry = self._heap[0]
+                now = time.monotonic()
+                if deadline > now:
+                    self._cv.wait(timeout=min(deadline - now, 0.1))
+                    continue
+                heapq.heappop(self._heap)
+                if entry["cancelled"]:
+                    continue
+                fire, tag = entry["fire"], entry["tag"]
+            try:
+                fire(tag)
+            except Exception:  # a faulty node's timer must not kill the wheel
+                pass
+
+
+class _ThreadedEnv:
+    """Per-node environment with the SimNodeEnv surface."""
+
+    def __init__(self, cluster: "ThreadedCluster", node_id: Any) -> None:
+        self._cluster = cluster
+        self.node_id = node_id
+        self._key = str(node_id)
+
+    def now_us(self) -> int:
+        return int((time.monotonic() - self._cluster.epoch) * 1_000_000)
+
+    def now_ms(self) -> int:
+        return self.now_us() // 1000
+
+    def charge(self, cpu_us: int) -> None:
+        """No-op: on real threads, CPU time is consumed by running."""
+
+    def send(self, dst: Any, msg: Any, size_bytes: int = 256) -> None:
+        self._cluster.post(self._key, str(dst), msg)
+
+    def local_deliver(self, dst: Any, msg: Any) -> None:
+        self._cluster.post(self._key, str(dst), msg)
+
+    def set_timer(self, tag: Any, delay_us: int) -> None:
+        self._cluster.timers.set_timer(
+            self._key, tag, delay_us,
+            lambda t: self._cluster.post_timer(self._key, t),
+        )
+
+    def cancel_timer(self, tag: Any) -> None:
+        self._cluster.timers.cancel_timer(self._key, tag)
+
+    def timer_armed(self, tag: Any) -> bool:  # pragma: no cover - parity
+        return (self._key, tag) in self._cluster.timers._entries
+
+
+class _NodeWorker:
+    """One consumer thread per node: mailbox in, handler calls out."""
+
+    def __init__(self, key: str, node: ProtocolNode) -> None:
+        self.key = key
+        self.node = node
+        self.mailbox: queue.Queue = queue.Queue()
+        self.errors: list[BaseException] = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self.node.on_start()
+        except Exception as exc:  # pragma: no cover - diagnostics
+            self.errors.append(exc)
+        while True:
+            item = self.mailbox.get()
+            if item is _STOP:
+                return
+            kind, src, payload = item
+            try:
+                if kind == "msg":
+                    self.node.on_message(src, payload)
+                else:
+                    self.node.on_timer(payload)
+            except Exception as exc:
+                self.errors.append(exc)
+
+
+_STOP = object()
+
+
+class ThreadedCluster:
+    """Hosts protocol nodes on real threads.
+
+    Usage mirrors the simulator: ``add_node`` everything, then
+    :meth:`start`; :meth:`await_quiescent` parks until mailboxes drain.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.monotonic()
+        self.timers = _TimerWheel()
+        self._workers: dict[str, _NodeWorker] = {}
+        self._started = False
+        self.dropped: set[str] = set()
+
+    def add_node(self, node_id: Any, node: ProtocolNode, host: str | None = None):
+        key = str(node_id)
+        worker = _NodeWorker(key, node)
+        self._workers[key] = worker
+        if self._started:
+            worker.start()
+        return _ThreadedEnv(self, node_id)
+
+    def start(self) -> None:
+        self._started = True
+        for worker in self._workers.values():
+            worker.start()
+
+    def post(self, src: str, dst: str, msg: Any) -> None:
+        if dst in self.dropped or src in self.dropped:
+            return
+        worker = self._workers.get(dst)
+        if worker is not None:
+            worker.mailbox.put(("msg", src, msg))
+
+    def post_timer(self, node_key: str, tag: Any) -> None:
+        if node_key in self.dropped:
+            return
+        worker = self._workers.get(node_key)
+        if worker is not None:
+            worker.mailbox.put(("timer", None, tag))
+
+    def drop_node(self, node_id: Any) -> None:
+        """Crash a node: it stops sending and receiving."""
+        self.dropped.add(str(node_id))
+
+    def errors(self) -> list[BaseException]:
+        return [e for w in self._workers.values() for e in w.errors]
+
+    def await_quiescent(self, settle_s: float = 0.05, timeout_s: float = 10.0) -> bool:
+        """Wait until every mailbox stays empty for ``settle_s``."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(w.mailbox.empty() for w in self._workers.values()):
+                time.sleep(settle_s)
+                if all(w.mailbox.empty() for w in self._workers.values()):
+                    return True
+            else:
+                time.sleep(0.005)
+        return False
+
+    def shutdown(self) -> None:
+        for worker in self._workers.values():
+            worker.mailbox.put(_STOP)
+        self.timers.stop()

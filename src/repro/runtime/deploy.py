@@ -1,0 +1,58 @@
+"""Deploying Perpetual services onto the threaded cluster.
+
+Mirrors :func:`repro.perpetual.group.deploy_service` for the threaded
+substrate: the same VoterNode / DriverNode classes, bound to threaded
+environments instead of simulator environments.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.crypto.keys import KeyStore
+from repro.perpetual.driver import DriverNode
+from repro.perpetual.executor import AppFactory
+from repro.perpetual.group import ServiceGroup, Topology
+from repro.perpetual.voter import VoterNode, driver_name, voter_name
+from repro.runtime.cluster import ThreadedCluster
+
+
+def deploy_threaded_service(
+    cluster: ThreadedCluster,
+    topology: Topology,
+    keys: KeyStore,
+    service: str,
+    app_factory: AppFactory,
+    cost_model: CryptoCostModel = MAC_COST_MODEL,
+    clbft_overrides: dict | None = None,
+    retransmit_timeout_us: int = 100_000,
+) -> ServiceGroup:
+    """Deploy every replica of ``service`` onto the threaded cluster."""
+    spec = topology.spec(service)
+    voters: list[VoterNode] = []
+    drivers: list[DriverNode] = []
+    for index in range(spec.n):
+        voter = VoterNode(
+            topology=topology,
+            service=service,
+            index=index,
+            keys=keys,
+            cost_model=cost_model,
+            clbft_overrides=clbft_overrides,
+        )
+        env = cluster.add_node(voter_name(service, index), voter)
+        voter.attach(env)
+        voters.append(voter)
+
+        driver = DriverNode(
+            topology=topology,
+            service=service,
+            index=index,
+            keys=keys,
+            app_factory=app_factory,
+            cost_model=cost_model,
+            retransmit_timeout_us=retransmit_timeout_us,
+        )
+        env = cluster.add_node(driver_name(service, index), driver)
+        driver.attach(env)
+        drivers.append(driver)
+    return ServiceGroup(service=service, voters=voters, drivers=drivers)

@@ -1,0 +1,326 @@
+"""The discrete-event kernel.
+
+Protocol code is written sans-IO against two small interfaces:
+
+- :class:`ProtocolNode` — implemented by voters, drivers, clients, and
+  emulators: ``on_message(src, msg)`` and ``on_timer(tag)``.
+- :class:`SimNodeEnv` — handed to each node: ``send``, ``local_deliver``,
+  ``set_timer`` / ``cancel_timer``, ``now_us``, and ``charge`` (CPU time).
+
+The kernel models one CPU per *host*. The paper co-locates the voter and
+driver of a replica on a single host (section 2.1), so those two nodes
+share a CPU by default; throughput then saturates on per-host work exactly
+as on the testbed. Message handling at a node begins when both the message
+has arrived and the host CPU is free; ``charge(us)`` extends the busy
+period; messages sent during handling depart at the charge-accumulated
+point of the send call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+
+US_PER_MS = 1_000
+US_PER_S = 1_000_000
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback. Ordered by (time, tiebreak seq)."""
+
+    time_us: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class ProtocolNode:
+    """Base class for everything that lives on the simulated network."""
+
+    def on_message(self, src: Any, msg: Any) -> None:
+        raise NotImplementedError
+
+    def on_timer(self, tag: Any) -> None:
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Hook invoked once when the simulation starts."""
+
+
+class NodeCpu:
+    """Serialises the work of all nodes sharing one host CPU."""
+
+    def __init__(self) -> None:
+        self.free_at_us = 0
+
+    def begin(self, now_us: int) -> int:
+        """Return the time at which handling may start."""
+        return max(now_us, self.free_at_us)
+
+
+class Simulator:
+    """Deterministic event loop with per-host CPU accounting."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now_us = 0
+        self._nodes: dict[str, ProtocolNode] = {}
+        self._envs: dict[str, "SimNodeEnv"] = {}
+        self._cpus: dict[str, NodeCpu] = {}
+        self._node_cpu: dict[str, str] = {}
+        self._network = None
+        self._started = False
+        self.events_processed = 0
+
+    # -- construction -----------------------------------------------------
+
+    def set_network(self, network) -> None:
+        """Install the :class:`repro.sim.network.NetworkModel`."""
+        self._network = network
+
+    def add_node(
+        self,
+        node_id: Any,
+        node: ProtocolNode,
+        host: str | None = None,
+    ) -> "SimNodeEnv":
+        """Register ``node`` under ``node_id``.
+
+        ``host`` names the CPU the node runs on; co-located nodes (a
+        replica's voter and driver) pass the same host name. Defaults to a
+        dedicated host per node.
+        """
+        key = str(node_id)
+        if key in self._nodes:
+            raise SimulationError(f"duplicate node id: {key}")
+        host_key = host if host is not None else key
+        self._cpus.setdefault(host_key, NodeCpu())
+        self._node_cpu[key] = host_key
+        env = SimNodeEnv(self, node_id)
+        self._nodes[key] = node
+        self._envs[key] = env
+        return env
+
+    def node(self, node_id: Any) -> ProtocolNode:
+        return self._nodes[str(node_id)]
+
+    def env(self, node_id: Any) -> "SimNodeEnv":
+        return self._envs[str(node_id)]
+
+    # -- time and scheduling ----------------------------------------------
+
+    @property
+    def now_us(self) -> int:
+        return self._now_us
+
+    def schedule(self, delay_us: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``now + delay_us``."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay: {delay_us}")
+        event = Event(self._now_us + int(delay_us), next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_us: int, action: Callable[[], None]) -> Event:
+        if time_us < self._now_us:
+            raise SimulationError(f"cannot schedule in the past: {time_us}")
+        event = Event(int(time_us), next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -- message plumbing ---------------------------------------------------
+
+    def post_message(self, src: Any, dst: Any, msg: Any, size_bytes: int) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` through the network model."""
+        if self._network is None:
+            latency_us = 0
+        else:
+            latency_us = self._network.latency_us(src, dst, size_bytes)
+            if latency_us is None:
+                return  # dropped by fault injection
+        self.schedule(
+            latency_us, lambda: self._deliver(src, dst, msg)
+        )
+
+    def post_local(self, src: Any, dst: Any, msg: Any) -> None:
+        """Deliver between co-located nodes (the local event queue)."""
+        self.schedule(0, lambda: self._deliver(src, dst, msg))
+
+    def _deliver(self, src: Any, dst: Any, msg: Any) -> None:
+        key = str(dst)
+        node = self._nodes.get(key)
+        if node is None:
+            return  # destination not deployed (e.g. crashed and removed)
+        self._run_handler(key, lambda: node.on_message(src, msg))
+
+    def _fire_timer(self, node_key: str, tag: Any) -> None:
+        node = self._nodes.get(node_key)
+        if node is None:
+            return
+        self._run_handler(node_key, lambda: node.on_timer(tag))
+
+    def _run_handler(self, node_key: str, handler: Callable[[], None]) -> None:
+        """Run a node handler with CPU accounting.
+
+        Handling starts when the host CPU frees up; ``charge`` calls made
+        by the handler extend the busy window; buffered sends depart at
+        the accumulated charge point.
+        """
+        env = self._envs[node_key]
+        cpu = self._cpus[self._node_cpu[node_key]]
+        start_us = cpu.begin(self._now_us)
+        if start_us > self._now_us:
+            # CPU is busy: requeue the handling to when it frees up. The
+            # requeued event re-checks, so chained busy periods work.
+            self.schedule_at(start_us, lambda: self._run_handler(node_key, handler))
+            return
+        env.begin_handling(start_us)
+        handler()
+        charged_us = env.end_handling()
+        cpu.free_at_us = start_us + charged_us
+        for depart_at_us, dispatch in env.drain_outbox():
+            self.schedule_at(depart_at_us, dispatch)
+
+    # -- running -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` hook (with CPU accounting)."""
+        if self._started:
+            return
+        self._started = True
+        for key, node in self._nodes.items():
+            self._run_handler(key, node.on_start)
+
+    def run(self, until_us: int | None = None, max_events: int | None = None) -> int:
+        """Process events until quiescence, a deadline, or an event budget.
+
+        Returns the number of events processed in this call.
+        """
+        self.start()
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until_us is not None and event.time_us > until_us:
+                self._now_us = until_us
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(self._queue)
+            self._now_us = event.time_us
+            event.action()
+            processed += 1
+            self.events_processed += 1
+        else:
+            if until_us is not None:
+                self._now_us = max(self._now_us, until_us)
+        return processed
+
+    def run_for(self, duration_us: int) -> int:
+        """Run for a window of simulated time from now."""
+        return self.run(until_us=self._now_us + duration_us)
+
+
+class SimNodeEnv:
+    """The environment handed to one protocol node.
+
+    Provides time, timers, CPU charging, and sends. Sends are buffered
+    during handling and released with their charge-accumulated departure
+    times when the handler returns.
+    """
+
+    def __init__(self, sim: Simulator, node_id: Any) -> None:
+        self._sim = sim
+        self.node_id = node_id
+        self._key = str(node_id)
+        self._handling = False
+        self._start_us = 0
+        self._charged_us = 0
+        self._outbox: list[tuple[int, Callable[[], None]]] = []
+        self._timers: dict[Any, Event] = {}
+
+    # -- kernel-side hooks --------------------------------------------------
+
+    def begin_handling(self, start_us: int) -> None:
+        self._handling = True
+        self._start_us = start_us
+        self._charged_us = 0
+        self._outbox = []
+
+    def end_handling(self) -> int:
+        self._handling = False
+        return self._charged_us
+
+    def drain_outbox(self) -> list[tuple[int, Callable[[], None]]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    # -- node-facing API ------------------------------------------------------
+
+    def now_us(self) -> int:
+        """Current simulated time, including CPU charged so far."""
+        if self._handling:
+            return self._start_us + self._charged_us
+        return self._sim.now_us
+
+    def now_ms(self) -> int:
+        return self.now_us() // US_PER_MS
+
+    def charge(self, cpu_us: int) -> None:
+        """Consume ``cpu_us`` of this node's host CPU."""
+        if cpu_us < 0:
+            raise SimulationError(f"negative charge: {cpu_us}")
+        self._charged_us += int(cpu_us)
+
+    def send(self, dst: Any, msg: Any, size_bytes: int = 256) -> None:
+        """Send a message over the network (departs at current charge point)."""
+        depart_at = self.now_us()
+        src = self.node_id
+        self._enqueue(
+            depart_at,
+            lambda: self._sim.post_message(src, dst, msg, size_bytes),
+        )
+
+    def local_deliver(self, dst: Any, msg: Any) -> None:
+        """Deliver to a co-located node via the local event queue."""
+        depart_at = self.now_us()
+        src = self.node_id
+        self._enqueue(depart_at, lambda: self._sim.post_local(src, dst, msg))
+
+    def _enqueue(self, depart_at: int, dispatch: Callable[[], None]) -> None:
+        if self._handling:
+            self._outbox.append((depart_at, dispatch))
+        else:
+            self._sim.schedule_at(max(depart_at, self._sim.now_us), dispatch)
+
+    def set_timer(self, tag: Any, delay_us: int) -> None:
+        """Arm (or re-arm) the timer named ``tag``."""
+        self.cancel_timer(tag)
+        fire_at = self.now_us() + int(delay_us)
+        event = Event(
+            fire_at,
+            next(self._sim._seq),
+            lambda: self._on_timer_fired(tag),
+        )
+        heapq.heappush(self._sim._queue, event)
+        self._timers[tag] = event
+
+    def _on_timer_fired(self, tag: Any) -> None:
+        self._timers.pop(tag, None)
+        self._sim._fire_timer(self._key, tag)
+
+    def cancel_timer(self, tag: Any) -> None:
+        event = self._timers.pop(tag, None)
+        if event is not None:
+            event.cancelled = True
+
+    def timer_armed(self, tag: Any) -> bool:
+        return tag in self._timers

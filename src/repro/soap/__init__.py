@@ -1,0 +1,38 @@
+"""A minimal SOAP 1.2 engine: the reproduction's Axis2 stand-in.
+
+Paper section 2.3 describes the Axis2 architecture Perpetual-WS plugs
+into: a Client API hands messages to an engine whose OUT-PIPE of handlers
+augments them before a TransportSender ships them; inbound messages flow
+through a TransportListener and an IN-PIPE to a MessageReceiver. This
+package reproduces those moving parts at laptop scale:
+
+- :mod:`repro.soap.envelope`   -- SOAP envelopes over ``xml.etree``, with a
+  typed body codec for application payloads;
+- :mod:`repro.soap.addressing` -- WS-Addressing headers (``wsa:messageID``,
+  ``wsa:replyTo``, ``wsa:to``, ``wsa:relatesTo``, ``wsa:action``);
+- :mod:`repro.soap.handlers`   -- the handler/pipe abstraction;
+- :mod:`repro.soap.engine`     -- the engine holding both pipes;
+- :mod:`repro.soap.faults`     -- SOAP fault construction and detection.
+
+The paper observes (section 6.4) that XML marshaling cost is dwarfed by
+ChannelAdapter crypto; the engine still round-trips every payload through
+real XML so the same code path is exercised.
+"""
+
+from repro.soap.addressing import WsAddressing
+from repro.soap.engine import SoapEngine
+from repro.soap.envelope import SoapEnvelope, body_from_xml, body_to_xml
+from repro.soap.faults import SoapFault, make_fault_envelope
+from repro.soap.handlers import Handler, HandlerChain
+
+__all__ = [
+    "Handler",
+    "HandlerChain",
+    "SoapEngine",
+    "SoapEnvelope",
+    "SoapFault",
+    "WsAddressing",
+    "body_from_xml",
+    "body_to_xml",
+    "make_fault_envelope",
+]

@@ -1,0 +1,61 @@
+"""WS-Addressing header fields (paper section 5.1).
+
+Perpetual-WS correlates messages with four WS-Addressing fields: the
+MessageHandler stamps ``wsa:messageID`` and ``wsa:replyTo`` on requests;
+replies carry ``wsa:relatesTo`` (copied from the request's message id) and
+``wsa:to`` (copied from the request's ``wsa:replyTo``).
+"""
+
+from __future__ import annotations
+
+from repro.soap.envelope import SoapEnvelope
+
+
+class WsAddressing:
+    """Namespaced header names plus typed accessors."""
+
+    MESSAGE_ID = "wsa:MessageID"
+    REPLY_TO = "wsa:ReplyTo"
+    TO = "wsa:To"
+    RELATES_TO = "wsa:RelatesTo"
+    ACTION = "wsa:Action"
+
+    @staticmethod
+    def message_id(envelope: SoapEnvelope) -> str:
+        return envelope.headers.get(WsAddressing.MESSAGE_ID, "")
+
+    @staticmethod
+    def set_message_id(envelope: SoapEnvelope, value: str) -> None:
+        envelope.headers[WsAddressing.MESSAGE_ID] = value
+
+    @staticmethod
+    def reply_to(envelope: SoapEnvelope) -> str:
+        return envelope.headers.get(WsAddressing.REPLY_TO, "")
+
+    @staticmethod
+    def set_reply_to(envelope: SoapEnvelope, value: str) -> None:
+        envelope.headers[WsAddressing.REPLY_TO] = value
+
+    @staticmethod
+    def to(envelope: SoapEnvelope) -> str:
+        return envelope.headers.get(WsAddressing.TO, "")
+
+    @staticmethod
+    def set_to(envelope: SoapEnvelope, value: str) -> None:
+        envelope.headers[WsAddressing.TO] = value
+
+    @staticmethod
+    def relates_to(envelope: SoapEnvelope) -> str:
+        return envelope.headers.get(WsAddressing.RELATES_TO, "")
+
+    @staticmethod
+    def set_relates_to(envelope: SoapEnvelope, value: str) -> None:
+        envelope.headers[WsAddressing.RELATES_TO] = value
+
+    @staticmethod
+    def action(envelope: SoapEnvelope) -> str:
+        return envelope.headers.get(WsAddressing.ACTION, "")
+
+    @staticmethod
+    def set_action(envelope: SoapEnvelope, value: str) -> None:
+        envelope.headers[WsAddressing.ACTION] = value

@@ -1,0 +1,49 @@
+"""The SOAP engine: both pipes plus marshal/demarshal.
+
+One engine instance serves one service replica. The OUT-PIPE runs before
+marshaling (transport send); the IN-PIPE runs after demarshaling
+(transport receive) — the same message flow as Axis2's engine between the
+Client API / MessageReceiver and the transport modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.handlers import (
+    AddressingInHandler,
+    AddressingOutHandler,
+    Handler,
+    HandlerChain,
+)
+
+
+class SoapEngine:
+    """Handler pipes and envelope (de)marshaling for one replica."""
+
+    def __init__(self) -> None:
+        self.out_pipe = HandlerChain([AddressingOutHandler()])
+        self.in_pipe = HandlerChain([AddressingInHandler()])
+        self.marshalled = 0
+        self.demarshalled = 0
+
+    def add_out_handler(self, handler: Handler) -> None:
+        self.out_pipe.add(handler)
+
+    def add_in_handler(self, handler: Handler) -> None:
+        self.in_pipe.add(handler)
+
+    def send_through(self, context: Any) -> bytes:
+        """OUT-PIPE then marshal; returns the wire payload."""
+        self.out_pipe.invoke(context)
+        self.marshalled += 1
+        return context.envelope.to_xml()
+
+    def receive_through(self, context: Any, data: bytes) -> SoapEnvelope:
+        """Demarshal then IN-PIPE; returns the parsed envelope."""
+        envelope = SoapEnvelope.from_xml(data)
+        context.envelope = envelope
+        self.in_pipe.invoke(context)
+        self.demarshalled += 1
+        return envelope

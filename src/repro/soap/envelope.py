@@ -1,0 +1,119 @@
+"""SOAP 1.2 envelopes with a typed body codec.
+
+An envelope is header blocks plus one body element. Application payloads
+are plain Python structures (dicts, lists, ints, strings, booleans, bytes,
+None); the codec embeds them as XML with ``t`` type attributes so parsing
+restores the exact structure. The XML text is what travels as the
+Perpetual payload — marshaling and demarshaling happen on every request
+and reply, as in the Axis2 deployment the paper measured.
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ProtocolError
+
+SOAP_NS = "http://www.w3.org/2003/05/soap-envelope"
+
+
+def body_to_xml(parent: ET.Element, tag: str, value: Any) -> ET.Element:
+    """Append ``value`` under ``parent`` as a typed XML element."""
+    element = ET.SubElement(parent, tag)
+    if value is None:
+        element.set("t", "null")
+    elif isinstance(value, bool):
+        element.set("t", "bool")
+        element.text = "1" if value else "0"
+    elif isinstance(value, int):
+        element.set("t", "int")
+        element.text = str(value)
+    elif isinstance(value, str):
+        element.set("t", "str")
+        element.text = value
+    elif isinstance(value, bytes):
+        element.set("t", "b64")
+        element.text = base64.b64encode(value).decode("ascii")
+    elif isinstance(value, list):
+        element.set("t", "list")
+        for item in value:
+            body_to_xml(element, "item", item)
+    elif isinstance(value, dict):
+        element.set("t", "map")
+        for key in value:
+            if not isinstance(key, str):
+                raise ProtocolError(f"non-string SOAP map key: {key!r}")
+            entry = body_to_xml(element, "entry", value[key])
+            entry.set("k", key)
+    else:
+        raise ProtocolError(
+            f"type {type(value).__name__} is not SOAP-encodable"
+        )
+    return element
+
+
+def body_from_xml(element: ET.Element) -> Any:
+    """Inverse of :func:`body_to_xml`."""
+    kind = element.get("t")
+    text = element.text or ""
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return text == "1"
+    if kind == "int":
+        return int(text)
+    if kind == "str":
+        return text
+    if kind == "b64":
+        return base64.b64decode(text)
+    if kind == "list":
+        return [body_from_xml(child) for child in element]
+    if kind == "map":
+        return {child.get("k"): body_from_xml(child) for child in element}
+    raise ProtocolError(f"unknown SOAP body type: {kind!r}")
+
+
+@dataclass
+class SoapEnvelope:
+    """One SOAP message: headers (flat string map) and a body payload."""
+
+    headers: dict[str, str] = field(default_factory=dict)
+    body: Any = None
+
+    def to_xml(self) -> bytes:
+        root = ET.Element(f"{{{SOAP_NS}}}Envelope")
+        header_el = ET.SubElement(root, f"{{{SOAP_NS}}}Header")
+        for name in sorted(self.headers):
+            block = ET.SubElement(header_el, "block")
+            block.set("name", name)
+            block.text = self.headers[name]
+        body_el = ET.SubElement(root, f"{{{SOAP_NS}}}Body")
+        body_to_xml(body_el, "payload", self.body)
+        return ET.tostring(root, encoding="utf-8")
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> "SoapEnvelope":
+        try:
+            root = ET.fromstring(data)
+        except ET.ParseError as exc:
+            raise ProtocolError(f"malformed SOAP envelope: {exc}") from exc
+        if root.tag != f"{{{SOAP_NS}}}Envelope":
+            raise ProtocolError(f"not a SOAP envelope: {root.tag}")
+        headers: dict[str, str] = {}
+        body: Any = None
+        for child in root:
+            if child.tag == f"{{{SOAP_NS}}}Header":
+                for block in child:
+                    headers[block.get("name", "")] = block.text or ""
+            elif child.tag == f"{{{SOAP_NS}}}Body":
+                payload = child.find("payload")
+                if payload is None:
+                    raise ProtocolError("SOAP body missing payload element")
+                body = body_from_xml(payload)
+        return cls(headers=headers, body=body)
+
+    def copy(self) -> "SoapEnvelope":
+        return SoapEnvelope(headers=dict(self.headers), body=self.body)

@@ -1,0 +1,44 @@
+"""SOAP faults.
+
+Deterministic aborts surface to applications as SOAP fault envelopes: the
+caller's replicas all agree the request aborted, so they all construct the
+identical fault. Applications can test ``MessageContext.is_fault`` or
+match the fault code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soap.envelope import SoapEnvelope
+
+FAULT_MARKER = "soap:Fault"
+
+CODE_ABORTED = "perpetual:RequestAborted"
+CODE_RECEIVER = "soap:Receiver"
+CODE_SENDER = "soap:Sender"
+
+
+@dataclass(frozen=True)
+class SoapFault:
+    """Structured view of a fault payload."""
+
+    code: str
+    reason: str
+
+
+def make_fault_envelope(code: str, reason: str) -> SoapEnvelope:
+    envelope = SoapEnvelope()
+    envelope.headers[FAULT_MARKER] = code
+    envelope.body = {"fault": {"code": code, "reason": reason}}
+    return envelope
+
+
+def fault_of(envelope: SoapEnvelope) -> SoapFault | None:
+    """The fault carried by ``envelope``, if it is a fault message."""
+    code = envelope.headers.get(FAULT_MARKER)
+    if code is None:
+        return None
+    body = envelope.body or {}
+    fault = body.get("fault", {}) if isinstance(body, dict) else {}
+    return SoapFault(code=code, reason=fault.get("reason", ""))

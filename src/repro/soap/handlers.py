@@ -1,0 +1,93 @@
+"""The Axis2-style handler / pipe abstraction.
+
+A pipe is an ordered chain of handlers, each of which may inspect and
+augment the in-flight message context. Applications can register custom
+handlers on either pipe (paper section 2.3: "The OUT-PIPE can be
+customized by adding extra handlers"); the middleware installs the
+WS-Addressing handlers by default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.soap.addressing import WsAddressing
+
+
+class Handler:
+    """One stage of a pipe. ``invoke`` mutates the message context."""
+
+    name = "handler"
+
+    def invoke(self, context: Any) -> None:
+        raise NotImplementedError
+
+
+class FunctionHandler(Handler):
+    """Adapts a plain callable into a handler."""
+
+    def __init__(self, name: str, fn: Callable[[Any], None]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def invoke(self, context: Any) -> None:
+        self._fn(context)
+
+
+class HandlerChain:
+    """An ordered pipe of handlers."""
+
+    def __init__(self, handlers: list[Handler] | None = None) -> None:
+        self._handlers: list[Handler] = list(handlers or [])
+
+    def add(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def add_first(self, handler: Handler) -> None:
+        self._handlers.insert(0, handler)
+
+    def invoke(self, context: Any) -> None:
+        for handler in self._handlers:
+            handler.invoke(context)
+
+    def names(self) -> list[str]:
+        return [h.name for h in self._handlers]
+
+
+class AddressingOutHandler(Handler):
+    """Stamps ``wsa:messageID`` and ``wsa:replyTo`` on outgoing requests.
+
+    Message ids must be identical across replicas, so they come from the
+    context's deterministic allocator rather than any UUID source.
+    """
+
+    name = "addressing-out"
+
+    def invoke(self, context: Any) -> None:
+        envelope = context.envelope
+        if not WsAddressing.message_id(envelope):
+            WsAddressing.set_message_id(envelope, context.allocate_message_id())
+        if not WsAddressing.reply_to(envelope):
+            WsAddressing.set_reply_to(envelope, context.local_service)
+
+
+class AddressingInHandler(Handler):
+    """Validates addressing headers on incoming messages."""
+
+    name = "addressing-in"
+
+    def invoke(self, context: Any) -> None:
+        envelope = context.envelope
+        context.message_id = WsAddressing.message_id(envelope)
+        context.relates_to = WsAddressing.relates_to(envelope)
+
+
+class CountingHandler(Handler):
+    """Test/diagnostic handler that counts traversals."""
+
+    def __init__(self, name: str = "counting") -> None:
+        self.name = name
+        self.count = 0
+
+    def invoke(self, context: Any) -> None:
+        self.count += 1

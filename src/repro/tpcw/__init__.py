@@ -1,0 +1,34 @@
+"""The TPC-W macro-benchmark (paper section 6.1, Figures 5 and 6).
+
+The paper drives an online bookstore with Remote Browser Emulators (RBEs)
+and measures Web Interactions Per Second (WIPS) while the bookstore's
+payment path — a Payment Gateway Emulator (PGE) calling a credit-card
+issuing bank, both built on Perpetual-WS — is replicated at degrees
+{1, 4, 7, 10}.
+
+This package supplies the pieces the paper's setup took from elsewhere:
+
+- :mod:`repro.tpcw.model`        -- the bookstore domain data (items,
+  customers, carts, orders) standing in for the MySQL image database;
+- :mod:`repro.tpcw.interactions` -- the web-interaction set, per-page CPU
+  costs, and the browsing/shopping/ordering mixes;
+- :mod:`repro.tpcw.bookstore`    -- the bookstore web service (the paper's
+  Tomcat servlet tier), which calls the PGE on payment traffic;
+- :mod:`repro.tpcw.rbe`          -- the Remote Browser Emulator with TPC-W
+  think times;
+- :mod:`repro.tpcw.harness`      -- deploys the whole Figure 5 chain and
+  measures WIPS (the Figure 6 series).
+"""
+
+from repro.tpcw.harness import TpcwResult, run_tpcw
+from repro.tpcw.interactions import Mix, PAPER_MIX, SHOPPING_MIX
+from repro.tpcw.model import BookstoreDatabase
+
+__all__ = [
+    "BookstoreDatabase",
+    "Mix",
+    "PAPER_MIX",
+    "SHOPPING_MIX",
+    "TpcwResult",
+    "run_tpcw",
+]

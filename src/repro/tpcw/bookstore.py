@@ -1,0 +1,177 @@
+"""The bookstore web service: the paper's Tomcat servlet tier.
+
+Serves the twelve TPC-W pages against the in-memory database, charging
+each page's CPU cost. Buy Confirm issues a payment authorisation to the
+PGE; the bookstore keeps serving other pages while authorisations are in
+flight (the Tomcat tier is multithreaded; here the fully-asynchronous
+event loop models that). A ``synchronous`` variant — which blocks the
+whole store on each PGE call — exists only to measure the paper's
+async-vs-sync comparison (section 6.4: asynchronous PGE/Bank performed up
+to ~4% better).
+"""
+
+from __future__ import annotations
+
+from repro.tpcw.interactions import (
+    BEST_SELLERS,
+    BUY_CONFIRM,
+    BUY_REQUEST,
+    CPU_COST_US,
+    CUSTOMER_REGISTRATION,
+    HOME,
+    NEW_PRODUCTS,
+    ORDER_DISPLAY,
+    ORDER_INQUIRY,
+    PRODUCT_DETAIL,
+    SEARCH_REQUEST,
+    SEARCH_RESULTS,
+    SHOPPING_CART,
+)
+from repro.tpcw.model import BookstoreDatabase
+from repro.ws.api import MessageContext, MessageHandler
+
+
+class BookstoreStats:
+    """Interaction counts observed at the bookstore (WIPS numerator)."""
+
+    def __init__(self) -> None:
+        self.interactions = 0
+        self.by_page: dict[str, int] = {}
+        self.pge_calls = 0
+        self.approved = 0
+        self.declined = 0
+
+    def record_page(self, page: str) -> None:
+        self.interactions += 1
+        self.by_page[page] = self.by_page.get(page, 0) + 1
+
+
+def bookstore_app(
+    db: BookstoreDatabase,
+    stats: BookstoreStats,
+    pge_endpoint: str = "pge",
+    synchronous_pge: bool = False,
+):
+    """Build the bookstore application generator."""
+
+    def handle_page(body: dict) -> dict:
+        """Pure page logic (no payment): returns the page reply body."""
+        page = body["page"]
+        session = int(body.get("session", 0))
+        if page == HOME:
+            return {"page": page, "promos": 5}
+        if page == NEW_PRODUCTS:
+            items = db.new_products(body.get("subject", "ARTS"))
+            return {"page": page, "count": len(items)}
+        if page == BEST_SELLERS:
+            items = db.best_sellers(body.get("subject", "ARTS"))
+            return {"page": page, "count": len(items)}
+        if page == PRODUCT_DETAIL:
+            item = db.items.get(int(body.get("item_id", 1)))
+            return {
+                "page": page,
+                "found": item is not None,
+                "price_cents": item.price_cents if item else 0,
+            }
+        if page == SEARCH_REQUEST:
+            return {"page": page}
+        if page == SEARCH_RESULTS:
+            items = db.search_by_author(body.get("author", "Author 1"))
+            return {"page": page, "count": len(items)}
+        if page == SHOPPING_CART:
+            cart = db.add_to_cart(session, int(body.get("item_id", 1)))
+            return {
+                "page": page,
+                "cart_size": len(cart.item_ids),
+                "total_cents": cart.total_cents(db),
+            }
+        if page == CUSTOMER_REGISTRATION:
+            return {"page": page, "ok": True}
+        if page == BUY_REQUEST:
+            order = db.create_order(int(body.get("customer_id", 1)), session)
+            return {
+                "page": page,
+                "order_id": order.order_id if order else 0,
+                "total_cents": order.total_cents if order else 0,
+            }
+        if page == ORDER_INQUIRY:
+            return {"page": page}
+        if page == ORDER_DISPLAY:
+            order = db.last_order_of(int(body.get("customer_id", 1)))
+            return {
+                "page": page,
+                "order_id": order.order_id if order else 0,
+                "status": order.status if order else "none",
+            }
+        return {"page": page, "error": "unknown-page"}
+
+    def start_payment(body: dict) -> tuple[MessageContext, int]:
+        """Prepare the PGE authorisation for a Buy Confirm."""
+        customer = db.customers.get(int(body.get("customer_id", 1)))
+        order = db.last_order_of(customer.customer_id) if customer else None
+        amount = order.total_cents if order and order.total_cents > 0 else 100
+        order_id = order.order_id if order else 0
+        context = MessageContext(
+            to=pge_endpoint,
+            body={
+                "card": customer.card if customer else "unknown",
+                "amount_cents": amount,
+            },
+        )
+        return context, order_id
+
+    def settle(order_id: int, pge_reply: MessageContext) -> dict:
+        approved = (not pge_reply.is_fault) and bool(
+            pge_reply.body.get("approved")
+        )
+        if approved:
+            db.confirm_order(order_id, pge_reply.body.get("auth_code", ""))
+            stats.approved += 1
+        else:
+            db.decline_order(order_id)
+            stats.declined += 1
+        return {"page": BUY_CONFIRM, "approved": approved, "order_id": order_id}
+
+    def sync_app():
+        while True:
+            request = yield MessageHandler.receive_request()
+            body = request.body or {}
+            page = body.get("page", HOME)
+            yield MessageHandler.compute(CPU_COST_US.get(page, 5_000))
+            if page == BUY_CONFIRM:
+                stats.pge_calls += 1
+                payment, order_id = start_payment(body)
+                pge_reply = yield MessageHandler.send_receive(payment)
+                result = settle(order_id, pge_reply)
+            else:
+                result = handle_page(body)
+            stats.record_page(page)
+            yield MessageHandler.send_reply(MessageContext(body=result), request)
+
+    def async_app():
+        pending: dict[str, tuple[MessageContext, int]] = {}
+        while True:
+            event = yield MessageHandler.receive_any()
+            if event.kind == "reply":
+                original, order_id = pending.pop(event.relates_to)
+                result = settle(order_id, event)
+                stats.record_page(BUY_CONFIRM)
+                yield MessageHandler.send_reply(
+                    MessageContext(body=result), original
+                )
+                continue
+            request = event
+            body = request.body or {}
+            page = body.get("page", HOME)
+            yield MessageHandler.compute(CPU_COST_US.get(page, 5_000))
+            if page == BUY_CONFIRM:
+                stats.pge_calls += 1
+                payment, order_id = start_payment(body)
+                message_id = yield MessageHandler.send(payment)
+                pending[message_id] = (request, order_id)
+                continue
+            result = handle_page(body)
+            stats.record_page(page)
+            yield MessageHandler.send_reply(MessageContext(body=result), request)
+
+    return sync_app if synchronous_pge else async_app

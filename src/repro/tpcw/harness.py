@@ -1,0 +1,145 @@
+"""The Figure 5 / Figure 6 harness: the full TPC-W chain on one simulator.
+
+Deploys RBEs (all on one simulated host, over the n=1 fast path standing
+in for plain HTTP) -> bookstore (n=1, Tomcat-tier stand-in) -> PGE ->
+bank, with the PGE and bank replicated at the configured degrees, and
+measures Web Interactions Per Second at the bookstore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.payment import bank_app, pge_app
+from repro.sim.kernel import US_PER_S
+from repro.tpcw.bookstore import BookstoreStats, bookstore_app
+from repro.tpcw.interactions import BUY_CONFIRM, Mix, PAPER_MIX
+from repro.tpcw.model import BookstoreDatabase
+from repro.tpcw.rbe import rbe_app
+from repro.ws.deployment import Deployment
+
+DEFAULT_DURATION_S = 60.0
+DEFAULT_THINK_TIME_MEAN_US = 7_000_000
+
+
+@dataclass(frozen=True)
+class TpcwResult:
+    """One Figure 6 data point."""
+
+    rbe_count: int
+    n_pge: int
+    n_bank: int
+    synchronous_pge: bool
+    duration_s: float
+    interactions: int
+    wips: float
+    pge_calls: int
+    approved: int
+    declined: int
+
+    def row(self) -> str:
+        mode = "sync " if self.synchronous_pge else "async"
+        return (
+            f"rbe={self.rbe_count:<3d} n_pge={self.n_pge:<3d} "
+            f"n_bank={self.n_bank:<3d} {mode}  "
+            f"{self.wips:6.2f} WIPS  ({self.interactions} interactions, "
+            f"{self.pge_calls} payments)"
+        )
+
+
+def run_tpcw(
+    rbe_count: int,
+    n_pge: int,
+    n_bank: int | None = None,
+    duration_s: float = DEFAULT_DURATION_S,
+    mix: Mix = PAPER_MIX,
+    synchronous_pge: bool = False,
+    synchronous_bookstore_pge_calls: bool | None = None,
+    think_time_mean_us: int = DEFAULT_THINK_TIME_MEAN_US,
+    seed: int = 11,
+) -> TpcwResult:
+    """Run one TPC-W configuration and return its WIPS measurement.
+
+    ``synchronous_pge`` selects the synchronous PGE/Bank implementations
+    *and* makes the bookstore block on payment calls — the section 6.4
+    comparison configuration. ``n_bank`` defaults to ``n_pge`` (the paper
+    always replicates both tiers equally).
+    """
+    if n_bank is None:
+        n_bank = n_pge
+    if synchronous_bookstore_pge_calls is None:
+        synchronous_bookstore_pge_calls = synchronous_pge
+
+    deployment = Deployment(
+        name=f"tpcw-{rbe_count}-{n_pge}-{n_bank}-{synchronous_pge}"
+    )
+    deployment.declare("bookstore", 1)
+    deployment.declare("pge", n_pge)
+    deployment.declare("bank", n_bank)
+    for i in range(rbe_count):
+        deployment.declare(f"rbe{i}", 1)
+
+    deployment.add_service("bank", bank_app)
+    deployment.add_service(
+        "pge", pge_app(bank_endpoint="bank", synchronous=synchronous_pge)
+    )
+    db = BookstoreDatabase(seed=seed)
+    stats = BookstoreStats()
+    deployment.add_service(
+        "bookstore",
+        bookstore_app(
+            db,
+            stats,
+            pge_endpoint="pge",
+            synchronous_pge=synchronous_bookstore_pge_calls,
+        ),
+    )
+    # "All the RBEs were executed within a single host."
+    for i in range(rbe_count):
+        deployment.add_service(
+            f"rbe{i}",
+            rbe_app(
+                rbe_index=i,
+                bookstore_endpoint="bookstore",
+                mix=mix,
+                seed=seed,
+                think_time_mean_us=think_time_mean_us,
+            ),
+            hosts=["rbe-host"],
+        )
+
+    deployment.run(seconds=duration_s)
+    wips = stats.interactions / duration_s if duration_s > 0 else 0.0
+    return TpcwResult(
+        rbe_count=rbe_count,
+        n_pge=n_pge,
+        n_bank=n_bank,
+        synchronous_pge=synchronous_pge,
+        duration_s=duration_s,
+        interactions=stats.interactions,
+        wips=wips,
+        pge_calls=stats.pge_calls,
+        approved=stats.approved,
+        declined=stats.declined,
+    )
+
+
+def figure6_series(
+    rbe_counts: tuple[int, ...] = (7, 21, 42, 70),
+    group_sizes: tuple[int, ...] = (1, 4, 7, 10),
+    duration_s: float = DEFAULT_DURATION_S,
+    think_time_mean_us: int = DEFAULT_THINK_TIME_MEAN_US,
+) -> list[TpcwResult]:
+    """The Figure 6 grid: WIPS vs RBE count for each replication degree."""
+    results = []
+    for n in group_sizes:
+        for rbe_count in rbe_counts:
+            results.append(
+                run_tpcw(
+                    rbe_count=rbe_count,
+                    n_pge=n,
+                    duration_s=duration_s,
+                    think_time_mean_us=think_time_mean_us,
+                )
+            )
+    return results

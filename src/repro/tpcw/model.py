@@ -1,0 +1,152 @@
+"""Bookstore domain data: the MySQL-database stand-in.
+
+The paper's bookstore runs on Tomcat against a co-located MySQL image
+database. Figure 6 depends on the bookstore's per-interaction cost and
+its payment out-calls, not on SQL semantics, so the database here is an
+in-memory model with the TPC-W entities (items, customers, carts, orders)
+and deterministic content generated from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.rng import DeterministicRng
+
+SUBJECTS = (
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+)
+
+
+@dataclass
+class Item:
+    item_id: int
+    title: str
+    author: str
+    subject: str
+    price_cents: int
+    stock: int
+
+
+@dataclass
+class Customer:
+    customer_id: int
+    name: str
+    card: str
+
+
+@dataclass
+class Order:
+    order_id: int
+    customer_id: int
+    item_ids: list[int]
+    total_cents: int
+    status: str = "pending"
+    auth_code: str = ""
+
+
+@dataclass
+class Cart:
+    session_id: int
+    item_ids: list[int] = field(default_factory=list)
+
+    def total_cents(self, db: "BookstoreDatabase") -> int:
+        return sum(db.items[i].price_cents for i in self.item_ids)
+
+
+class BookstoreDatabase:
+    """Deterministic in-memory TPC-W data set."""
+
+    def __init__(self, item_count: int = 1000, customer_count: int = 288,
+                 seed: int = 7) -> None:
+        rng = DeterministicRng(seed, "tpcw-db")
+        self.items: dict[int, Item] = {}
+        for item_id in range(1, item_count + 1):
+            self.items[item_id] = Item(
+                item_id=item_id,
+                title=f"Book {item_id:05d}",
+                author=f"Author {rng.randint(1, item_count // 4)}",
+                subject=rng.choice(SUBJECTS),
+                price_cents=rng.randint(500, 9900),
+                stock=rng.randint(10, 500),
+            )
+        self.customers: dict[int, Customer] = {}
+        for customer_id in range(1, customer_count + 1):
+            self.customers[customer_id] = Customer(
+                customer_id=customer_id,
+                name=f"Customer {customer_id:05d}",
+                card=f"4{customer_id:015d}",
+            )
+        self.orders: dict[int, Order] = {}
+        self.carts: dict[int, Cart] = {}
+        self._next_order_id = 1
+
+    # -- query paths used by the web interactions --------------------------
+
+    def best_sellers(self, subject: str, limit: int = 50) -> list[Item]:
+        matching = [i for i in self.items.values() if i.subject == subject]
+        matching.sort(key=lambda i: (-i.stock, i.item_id))
+        return matching[:limit]
+
+    def new_products(self, subject: str, limit: int = 50) -> list[Item]:
+        matching = [i for i in self.items.values() if i.subject == subject]
+        matching.sort(key=lambda i: -i.item_id)
+        return matching[:limit]
+
+    def search_by_author(self, author: str) -> list[Item]:
+        return [i for i in self.items.values() if i.author == author]
+
+    def search_by_title(self, fragment: str) -> list[Item]:
+        return [i for i in self.items.values() if fragment in i.title]
+
+    # -- cart and order lifecycle -------------------------------------------
+
+    def cart(self, session_id: int) -> Cart:
+        if session_id not in self.carts:
+            self.carts[session_id] = Cart(session_id=session_id)
+        return self.carts[session_id]
+
+    def add_to_cart(self, session_id: int, item_id: int) -> Cart:
+        cart = self.cart(session_id)
+        if item_id in self.items:
+            cart.item_ids.append(item_id)
+        return cart
+
+    def create_order(self, customer_id: int, session_id: int) -> Order | None:
+        cart = self.carts.get(session_id)
+        if cart is None or not cart.item_ids:
+            return None
+        order = Order(
+            order_id=self._next_order_id,
+            customer_id=customer_id,
+            item_ids=list(cart.item_ids),
+            total_cents=cart.total_cents(self),
+        )
+        self._next_order_id += 1
+        self.orders[order.order_id] = order
+        cart.item_ids.clear()
+        return order
+
+    def confirm_order(self, order_id: int, auth_code: str) -> None:
+        order = self.orders.get(order_id)
+        if order is not None:
+            order.status = "confirmed"
+            order.auth_code = auth_code
+            for item_id in order.item_ids:
+                item = self.items[item_id]
+                item.stock = max(item.stock - 1, 0)
+
+    def decline_order(self, order_id: int) -> None:
+        order = self.orders.get(order_id)
+        if order is not None:
+            order.status = "declined"
+
+    def last_order_of(self, customer_id: int) -> Order | None:
+        candidates = [
+            o for o in self.orders.values() if o.customer_id == customer_id
+        ]
+        return candidates[-1] if candidates else None

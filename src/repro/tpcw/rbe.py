@@ -1,0 +1,114 @@
+"""The Remote Browser Emulator (RBE).
+
+Each RBE emulates one end-user session: pick a page from the mix, send
+the HTTP-analog request to the bookstore, read the reply, think, repeat.
+RBEs are deployed as unreplicated (n=1) endpoints — the paper runs them
+all on one host over plain HTTP, so one simulated host carries all of
+them here and think time dominates their cycle.
+
+TPC-W think times are exponential with a 7-second mean (capped); the mean
+is configurable for faster test runs.
+"""
+
+from __future__ import annotations
+
+from repro.perpetual.executor import Sleep
+from repro.sim.rng import DeterministicRng
+from repro.tpcw.interactions import (
+    BUY_CONFIRM,
+    BUY_REQUEST,
+    Mix,
+    PAPER_MIX,
+    PRODUCT_DETAIL,
+    SEARCH_RESULTS,
+    SHOPPING_CART,
+)
+from repro.tpcw.model import SUBJECTS
+from repro.ws.api import MessageContext, MessageHandler
+
+THINK_TIME_MEAN_US = 7_000_000
+THINK_TIME_CAP_US = 70_000_000
+
+
+def rbe_app(
+    rbe_index: int,
+    bookstore_endpoint: str = "bookstore",
+    mix: Mix = PAPER_MIX,
+    seed: int = 11,
+    think_time_mean_us: int = THINK_TIME_MEAN_US,
+    item_count: int = 1000,
+    customer_count: int = 288,
+):
+    """Build the emulator for browser session ``rbe_index``."""
+
+    def app():
+        rng = DeterministicRng(seed, f"rbe-{rbe_index}")
+        pages = mix.pages()
+        probabilities = mix.probabilities()
+        session = rbe_index + 1
+        customer_id = (rbe_index % customer_count) + 1
+        # A browse -> cart -> buy session needs items in the cart before a
+        # buy page makes sense; the emulator tracks that minimal state.
+        cart_filled = False
+        order_placed = False
+        while True:
+            page = rng.choices(pages, probabilities)[0]
+            body = {"page": page, "session": session, "customer_id": customer_id}
+            if page in (PRODUCT_DETAIL, SHOPPING_CART):
+                body["item_id"] = rng.randint(1, item_count)
+            if page == SEARCH_RESULTS:
+                body["author"] = f"Author {rng.randint(1, item_count // 4)}"
+            if page in ("new_products", "best_sellers"):
+                body["subject"] = rng.choice(SUBJECTS)
+            if page == BUY_REQUEST and not cart_filled:
+                # Put something in the cart first so the order is real.
+                yield MessageHandler.send_receive(
+                    MessageContext(
+                        to=bookstore_endpoint,
+                        body={
+                            "page": SHOPPING_CART,
+                            "session": session,
+                            "item_id": rng.randint(1, item_count),
+                        },
+                    )
+                )
+                cart_filled = True
+            if page == BUY_CONFIRM and not order_placed:
+                if not cart_filled:
+                    yield MessageHandler.send_receive(
+                        MessageContext(
+                            to=bookstore_endpoint,
+                            body={
+                                "page": SHOPPING_CART,
+                                "session": session,
+                                "item_id": rng.randint(1, item_count),
+                            },
+                        )
+                    )
+                    cart_filled = True
+                yield MessageHandler.send_receive(
+                    MessageContext(
+                        to=bookstore_endpoint,
+                        body={
+                            "page": BUY_REQUEST,
+                            "session": session,
+                            "customer_id": customer_id,
+                        },
+                    )
+                )
+                order_placed = True
+            reply = yield MessageHandler.send_receive(
+                MessageContext(to=bookstore_endpoint, body=body)
+            )
+            if page == BUY_REQUEST:
+                order_placed = True
+                cart_filled = False
+            if page == BUY_CONFIRM:
+                order_placed = False
+            __ = reply  # page content is not interpreted further
+            think_us = min(
+                rng.sample_mean_us(think_time_mean_us), THINK_TIME_CAP_US
+            )
+            yield Sleep(think_us)
+
+    return app

@@ -1,0 +1,29 @@
+"""Transport: the ChannelAdapter and Connection abstraction.
+
+The Perpetual prototype (paper section 2.1.2) abstracts "transport,
+authentication, and encryption details" behind a ChannelAdapter whose
+transport-specific parts live in pluggable Connection modules (the Java
+prototype ships an SSL/TCP Connection). This package reproduces that
+layering:
+
+- :class:`repro.transport.channel.ChannelAdapter` — signs outgoing
+  messages with MAC authenticators, verifies incoming ones, charges the
+  crypto cost model, and hands verified protocol messages up;
+- :class:`repro.transport.connection.Connection` — the wire; the simulated
+  connection rides the discrete-event kernel, and the in-process
+  connection backs the threaded runtime;
+- :mod:`repro.transport.wire` — framing of protocol messages into
+  authenticated wire envelopes.
+"""
+
+from repro.transport.channel import ChannelAdapter
+from repro.transport.connection import Connection, SimConnection, DirectConnection
+from repro.transport.wire import WireEnvelope
+
+__all__ = [
+    "ChannelAdapter",
+    "Connection",
+    "DirectConnection",
+    "SimConnection",
+    "WireEnvelope",
+]

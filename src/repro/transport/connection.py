@@ -1,0 +1,56 @@
+"""Connection modules: the pluggable bottom of the ChannelAdapter.
+
+``Connection`` is the transport-independence seam the paper calls out
+(section 3, "Transport independence"): the ChannelAdapter never names a
+protocol; a Connection moves envelopes between principals.
+
+Two implementations ship:
+
+- :class:`SimConnection` rides the discrete-event kernel (the default for
+  all experiments);
+- :class:`DirectConnection` delivers synchronously in-process via a
+  router callable (used by the threaded runtime, where the router pushes
+  onto per-node thread-safe queues).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.transport.wire import WireEnvelope
+
+
+class Connection:
+    """Moves wire envelopes from this principal to others."""
+
+    def transmit(self, dst: Any, envelope: WireEnvelope) -> None:
+        raise NotImplementedError
+
+
+class SimConnection(Connection):
+    """Connection over the simulated network.
+
+    Wraps a :class:`repro.sim.kernel.SimNodeEnv`; delivery latency and
+    drops come from the kernel's installed network model.
+    """
+
+    def __init__(self, env) -> None:
+        self._env = env
+
+    def transmit(self, dst: Any, envelope: WireEnvelope) -> None:
+        self._env.send(dst, envelope, size_bytes=envelope.size_bytes)
+
+
+class DirectConnection(Connection):
+    """Synchronous in-process delivery through a router callable.
+
+    ``router(src, dst, envelope)`` is supplied by the hosting runtime; the
+    threaded runtime implements it with thread-safe queues.
+    """
+
+    def __init__(self, src: Any, router: Callable[[Any, Any, WireEnvelope], None]) -> None:
+        self._src = src
+        self._router = router
+
+    def transmit(self, dst: Any, envelope: WireEnvelope) -> None:
+        self._router(self._src, dst, envelope)

@@ -1,0 +1,56 @@
+"""Wire framing: authenticated envelopes around protocol messages.
+
+A :class:`WireEnvelope` is what a Connection actually carries: the
+canonical payload bytes plus the sender's authenticator over them. The
+envelope is deliberately dumb — all interpretation happens above (protocol
+codecs) and below (connections) this layer, mirroring the paper's
+separation between the Perpetual core and the ChannelAdapter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.auth import Authenticator
+
+
+def auth_to_wire(auth: Authenticator) -> list:
+    """Flatten an authenticator into canonically encodable structures."""
+    return [auth.sender, [[name, tag] for name, tag in auth.entries]]
+
+
+def auth_from_wire(data: list) -> Authenticator:
+    sender, entries = data
+    return Authenticator(
+        sender=sender, entries=tuple((name, tag) for name, tag in entries)
+    )
+
+
+@dataclass(frozen=True)
+class WireEnvelope:
+    """Payload bytes plus the sender's MAC authenticator over them."""
+
+    payload: bytes
+    auth: Authenticator
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size, used by the network latency model."""
+        mac_bytes = sum(len(tag) + 24 for _, tag in self.auth.entries)
+        return len(self.payload) + mac_bytes + 32
+
+
+def envelope_to_wire(envelope: WireEnvelope) -> list:
+    """Flatten an envelope so it can ride *inside* another message.
+
+    Perpetual embeds the ``fc + 1`` matching caller request envelopes in
+    the agreement payload as proof that the calling service really issued
+    the request; every target voter re-verifies its own MAC entry in each
+    embedded envelope.
+    """
+    return [envelope.payload, auth_to_wire(envelope.auth)]
+
+
+def envelope_from_wire(data: list) -> WireEnvelope:
+    payload, auth = data
+    return WireEnvelope(payload=payload, auth=auth_from_wire(auth))

@@ -1,0 +1,30 @@
+"""Perpetual-WS: the middleware's public programming surface.
+
+This package is what a downstream web-service developer imports:
+
+- :mod:`repro.ws.api`        -- ``MessageContext``, the ``MessageHandler``
+  operations (paper Figure 3: send / receiveReply / sendReceive /
+  receiveRequest / sendReply) and the deterministic ``Utils``;
+- :mod:`repro.ws.adapter`    -- bridges WS-level applications onto the
+  Perpetual executor model (WS-Addressing correlation, SOAP marshaling
+  through the engine pipes);
+- :mod:`repro.ws.deployment` -- deploys replicated services from a
+  topology (the ``replicas.xml`` model of section 5.2);
+- :mod:`repro.ws.descriptor` -- parses an actual ``replicas.xml`` document;
+- :mod:`repro.ws.registry`   -- a static UDDI stand-in for endpoint
+  resolution (the paper's future-work discovery direction).
+"""
+
+from repro.ws.api import MessageContext, MessageHandler, Options, Utils
+from repro.ws.deployment import Deployment, ServiceDeployment
+from repro.ws.registry import ServiceRegistry
+
+__all__ = [
+    "Deployment",
+    "MessageContext",
+    "MessageHandler",
+    "Options",
+    "ServiceDeployment",
+    "ServiceRegistry",
+    "Utils",
+]

@@ -1,0 +1,242 @@
+"""The Perpetual-WS API (paper Figure 3).
+
+Applications are deterministic generator coroutines. Where the Java API
+blocks, the Python application *yields* the corresponding operation and is
+resumed with its outcome::
+
+    def store_app():
+        while True:
+            request = yield MessageHandler.receive_request()
+            auth = yield MessageHandler.send_receive(
+                MessageContext(to="pge", body={"amount": 100}))
+            reply = MessageContext(body={"ok": not auth.is_fault})
+            yield MessageHandler.send_reply(reply, request)
+
+``Utils`` provides the deterministic host-information functions of section
+4.2: each one round-trips through voter agreement, so every replica
+observes the identical value regardless of host clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.perpetual.executor import CurrentTime, Random, Timestamp
+from repro.soap.addressing import WsAddressing
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.faults import fault_of
+
+
+@dataclass
+class Options:
+    """Per-request options (the Axis2 ``Options`` object).
+
+    ``timeout_ms`` arms the deterministic abort: if no reply is agreed
+    before the timeout, every calling replica aborts the request at the
+    same logical point (paper section 4.2). ``None`` — the default —
+    never aborts.
+    """
+
+    timeout_ms: int | None = None
+
+    def set_timeout_in_milliseconds(self, value: int) -> None:
+        """Paper-faithful alias for configuring the abort timeout."""
+        self.timeout_ms = value
+
+
+class MessageContext:
+    """One SOAP message plus its delivery metadata.
+
+    Mirrors ``org.apache.axis2.context.MessageContext``: the envelope, the
+    addressing fields, and the per-request :class:`Options`. Constructed
+    by applications for outgoing messages (``to`` + ``body``) and by the
+    middleware for incoming ones.
+    """
+
+    def __init__(
+        self,
+        to: str = "",
+        body: Any = None,
+        action: str = "",
+        options: Options | None = None,
+        envelope: SoapEnvelope | None = None,
+    ) -> None:
+        self.envelope = envelope if envelope is not None else SoapEnvelope()
+        if to:
+            WsAddressing.set_to(self.envelope, to)
+        if action:
+            WsAddressing.set_action(self.envelope, action)
+        if body is not None:
+            self.envelope.body = body
+        self.options = options or Options()
+        # Filled by pipes / adapter.
+        self.message_id: str = WsAddressing.message_id(self.envelope)
+        self.relates_to: str = WsAddressing.relates_to(self.envelope)
+        self.caller: str = ""
+        self.local_service: str = ""
+        # "request" or "reply", set by the adapter on received contexts.
+        self.kind: str = ""
+        self._allocate = None
+
+    # -- payload accessors ---------------------------------------------------
+
+    @property
+    def body(self) -> Any:
+        return self.envelope.body
+
+    @body.setter
+    def body(self, value: Any) -> None:
+        self.envelope.body = value
+
+    @property
+    def to(self) -> str:
+        return WsAddressing.to(self.envelope)
+
+    @property
+    def reply_to(self) -> str:
+        return WsAddressing.reply_to(self.envelope)
+
+    @property
+    def is_fault(self) -> bool:
+        return fault_of(self.envelope) is not None
+
+    @property
+    def fault(self):
+        return fault_of(self.envelope)
+
+    # -- used by the AddressingOutHandler ------------------------------------
+
+    def allocate_message_id(self) -> str:
+        if self._allocate is None:
+            raise RuntimeError(
+                "MessageContext not bound to a replica message-id allocator"
+            )
+        return self._allocate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MessageContext(to={self.to!r}, message_id={self.message_id!r}, "
+            f"relates_to={self.relates_to!r}, fault={self.is_fault})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Operations applications yield
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WsSend:
+    context: MessageContext
+
+
+@dataclass(frozen=True)
+class WsReceiveReply:
+    request: MessageContext | None = None
+
+
+@dataclass(frozen=True)
+class WsSendReceive:
+    context: MessageContext
+
+
+@dataclass(frozen=True)
+class WsReceiveRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class WsReceiveAny:
+    pass
+
+
+@dataclass(frozen=True)
+class WsSendReply:
+    reply: MessageContext
+    request: MessageContext
+
+
+@dataclass(frozen=True)
+class WsCompute:
+    """Simulated request-processing CPU time (benchmark workloads)."""
+
+    cpu_us: int
+
+
+class MessageHandler:
+    """Namespace of the messaging operations of paper Figure 3.
+
+    Each method returns an operation object the application yields; the
+    adapter performs it and resumes the application with the outcome.
+    """
+
+    @staticmethod
+    def send(request: MessageContext) -> WsSend:
+        """Sends the message without blocking; resumes with the message id."""
+        return WsSend(request)
+
+    @staticmethod
+    def receive_reply(request: MessageContext | None = None) -> WsReceiveReply:
+        """Blocks for the next reply (or for a specific request's reply);
+        resumes with the reply MessageContext."""
+        return WsReceiveReply(request)
+
+    @staticmethod
+    def send_receive(request: MessageContext) -> WsSendReceive:
+        """Sends the message and blocks for its reply (synchronous MEP)."""
+        return WsSendReceive(request)
+
+    @staticmethod
+    def receive_request() -> WsReceiveRequest:
+        """Blocks for the next incoming request."""
+        return WsReceiveRequest()
+
+    @staticmethod
+    def send_reply(reply: MessageContext, request: MessageContext) -> WsSendReply:
+        """Asynchronously sends ``reply`` as the response to ``request``."""
+        return WsSendReply(reply, request)
+
+    @staticmethod
+    def receive_any() -> WsReceiveAny:
+        """Blocks for the next agreed event — an incoming request *or* a
+        reply to one of this service's out-calls, whichever the voter
+        group agreed first.
+
+        Resumes with a MessageContext whose ``kind`` attribute is
+        ``"request"`` or ``"reply"``. This exposes Perpetual's local
+        event queue directly and is what fully-asynchronous services use
+        to overlap serving new requests with in-flight out-calls.
+        """
+        return WsReceiveAny()
+
+    @staticmethod
+    def compute(cpu_us: int) -> WsCompute:
+        """Consume simulated CPU (models non-trivial business logic)."""
+        return WsCompute(cpu_us)
+
+
+class Utils:
+    """Deterministic utility functions (paper Figure 3 / section 4.2).
+
+    The returned operations resolve through voter agreement: the primary
+    proposes a value and the group agrees, so replicas never diverge even
+    though their host clocks do.
+    """
+
+    @staticmethod
+    def current_time_millis() -> CurrentTime:
+        """Replaces ``System.currentTimeMillis()``; resumes with int ms."""
+        return CurrentTime()
+
+    @staticmethod
+    def timestamp() -> Timestamp:
+        """Replaces direct ``java.util.Date`` creation; resumes with an
+        agreed timestamp in milliseconds."""
+        return Timestamp()
+
+    @staticmethod
+    def random() -> Random:
+        """Replaces direct ``java.util.Random`` creation; resumes with a
+        ``random.Random`` seeded identically on every replica."""
+        return Random()

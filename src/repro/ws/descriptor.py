@@ -1,0 +1,74 @@
+"""Parsing of ``replicas.xml`` deployment descriptors (paper section 5.2).
+
+The deployment process "mirrors that of Axis2 except we require an
+additional replicas.xml file" holding the static endpoint mappings. A
+descriptor looks like::
+
+    <replicas>
+      <service name="pge" replicas="4">
+        <endpoint>host1:8443</endpoint>
+        ...
+      </service>
+      <service name="bank" replicas="4"/>
+    </replicas>
+
+Endpoints are optional (simulated deployments synthesise them).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.common.config import ReplicationConfig, ServiceSpec
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ServiceId
+
+
+def parse_replicas_xml(text: str | bytes) -> list[ServiceSpec]:
+    """Parse a replicas.xml document into service specs."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"malformed replicas.xml: {exc}") from exc
+    if root.tag != "replicas":
+        raise ConfigurationError(
+            f"replicas.xml root must be <replicas>, got <{root.tag}>"
+        )
+    specs = []
+    for service_el in root.findall("service"):
+        name = service_el.get("name")
+        if not name:
+            raise ConfigurationError("<service> element missing name attribute")
+        replicas_attr = service_el.get("replicas", "1")
+        if not replicas_attr.isdigit() or int(replicas_attr) < 1:
+            raise ConfigurationError(
+                f"service {name!r}: bad replicas count {replicas_attr!r}"
+            )
+        n = int(replicas_attr)
+        endpoints = tuple(
+            (el.text or "").strip() for el in service_el.findall("endpoint")
+        )
+        if endpoints and len(endpoints) != n:
+            raise ConfigurationError(
+                f"service {name!r}: {len(endpoints)} endpoints for {n} replicas"
+            )
+        specs.append(
+            ServiceSpec(
+                service=ServiceId(name),
+                replication=ReplicationConfig.for_group_size(n),
+                endpoints=endpoints,
+            )
+        )
+    return specs
+
+
+def render_replicas_xml(specs: list[ServiceSpec]) -> str:
+    """Inverse of :func:`parse_replicas_xml` (round-trip tested)."""
+    root = ET.Element("replicas")
+    for spec in specs:
+        service_el = ET.SubElement(root, "service")
+        service_el.set("name", str(spec.service))
+        service_el.set("replicas", str(spec.n))
+        for endpoint in spec.endpoints:
+            ET.SubElement(service_el, "endpoint").text = endpoint
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,40 @@
+"""Integration: a small TPC-W run end to end (RBEs -> store -> PGE -> bank)."""
+
+from repro.tpcw.harness import run_tpcw
+from repro.tpcw.interactions import PAPER_MIX
+
+
+def test_small_run_produces_interactions_and_payments():
+    result = run_tpcw(rbe_count=8, n_pge=4, duration_s=40, seed=5)
+    assert result.interactions > 20
+    assert result.wips > 0
+    assert result.pge_calls > 0
+    # Every settled payment is either approved or declined.
+    assert result.approved + result.declined <= result.pge_calls
+    assert result.approved > 0
+
+
+def test_replication_degree_does_not_change_workload_shape():
+    r1 = run_tpcw(rbe_count=8, n_pge=1, duration_s=40, seed=5)
+    r4 = run_tpcw(rbe_count=8, n_pge=4, duration_s=40, seed=5)
+    # Same RBEs, same seed: interaction counts stay within a tight band
+    # (the paper's Figure 6 point -- replication barely moves WIPS).
+    assert abs(r1.interactions - r4.interactions) <= max(
+        3, int(0.1 * r1.interactions)
+    )
+
+
+def test_sync_variant_runs():
+    result = run_tpcw(
+        rbe_count=6, n_pge=4, duration_s=30, synchronous_pge=True, seed=5
+    )
+    assert result.interactions > 10
+    assert result.synchronous_pge
+
+
+def test_determinism_same_seed_same_result():
+    a = run_tpcw(rbe_count=5, n_pge=4, duration_s=20, seed=9)
+    b = run_tpcw(rbe_count=5, n_pge=4, duration_s=20, seed=9)
+    assert a.interactions == b.interactions
+    assert a.pge_calls == b.pge_calls
+    assert a.approved == b.approved

@@ -1,0 +1,45 @@
+"""Property-based tests: MAC authenticator soundness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.auth import AuthenticatorFactory
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import compute_mac, verify_mac
+
+keys = KeyStore.for_deployment("prop")
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@given(st.binary(max_size=128), names, st.lists(names, min_size=1, max_size=6,
+                                                unique=True))
+@settings(max_examples=150)
+def test_every_addressee_verifies(data, sender, receivers):
+    auth = AuthenticatorFactory(keys, sender).sign(data, list(receivers))
+    for receiver in receivers:
+        assert AuthenticatorFactory(keys, receiver).verify(data, auth)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64), names, names)
+@settings(max_examples=150)
+def test_tampering_detected(data, other, sender, receiver):
+    if data == other:
+        return
+    auth = AuthenticatorFactory(keys, sender).sign(data, [receiver])
+    assert not AuthenticatorFactory(keys, receiver).verify(other, auth)
+
+
+@given(st.binary(max_size=64), names, names, names)
+@settings(max_examples=150)
+def test_non_addressee_never_verifies(data, sender, receiver, outsider):
+    if outsider == receiver:
+        return
+    auth = AuthenticatorFactory(keys, sender).sign(data, [receiver])
+    assert not AuthenticatorFactory(keys, outsider).verify(data, auth)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(max_size=64))
+@settings(max_examples=150)
+def test_mac_verifies_iff_same_key_and_data(key, data):
+    tag = compute_mac(key, data)
+    assert verify_mac(key, data, tag)
+    assert not verify_mac(key + b"x", data, tag)

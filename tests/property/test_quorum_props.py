@@ -1,0 +1,66 @@
+"""Property-based tests: quorum arithmetic invariants.
+
+The safety-critical inequalities behind CLBFT and Perpetual, checked over
+the whole practical parameter range rather than the paper's four points.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.common.quorum import (
+    agreement_quorum,
+    fault_bound,
+    group_size,
+    matching_request_quorum,
+    reply_bundle_quorum,
+    weak_certificate,
+)
+
+group_sizes = st.integers(min_value=1, max_value=400)
+fault_bounds = st.integers(min_value=0, max_value=130)
+
+
+@given(group_sizes)
+def test_quorum_intersection_contains_correct_replica(n):
+    """Any two agreement quorums overlap in at least f+1 replicas."""
+    f = fault_bound(n)
+    q = agreement_quorum(n)
+    assert 2 * q - n >= f + 1
+
+
+@given(group_sizes)
+def test_quorum_always_available(n):
+    """With f faulty replicas silent, a quorum can still form."""
+    assert agreement_quorum(n) <= n - fault_bound(n) or fault_bound(n) == 0
+
+
+@given(group_sizes)
+def test_weak_certificate_hits_correct_replica(n):
+    assert weak_certificate(n) >= fault_bound(n) + 1
+
+
+@given(fault_bounds)
+def test_group_size_fault_bound_galois(f):
+    assert fault_bound(group_size(f)) == f
+
+
+@given(group_sizes)
+def test_fault_bound_monotone(n):
+    assert fault_bound(n + 1) >= fault_bound(n)
+
+
+@given(group_sizes)
+def test_request_quorum_unforgeable(n):
+    """fc+1 matching copies cannot come exclusively from faulty callers."""
+    assert matching_request_quorum(n) > fault_bound(n)
+
+
+@given(group_sizes)
+def test_reply_bundle_unforgeable(n):
+    """ft+1 vouchers cannot come exclusively from faulty target voters."""
+    assert reply_bundle_quorum(n) > fault_bound(n)
+
+
+@given(group_sizes)
+def test_reply_bundle_always_collectable(n):
+    """With f faulty voters silent, the responder can still bundle."""
+    assert reply_bundle_quorum(n) <= n - fault_bound(n)

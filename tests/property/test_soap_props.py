@@ -1,0 +1,48 @@
+"""Property-based tests: SOAP envelope marshal/demarshal identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.soap.envelope import SoapEnvelope
+
+header_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=10,
+)
+header_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           exclude_characters="<>&"),
+    min_size=1, max_size=30,
+)
+
+bodies = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**12), max_value=10**12),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=30,
+        ),
+        st.binary(max_size=30),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(header_names, children, max_size=3),
+    ),
+    max_leaves=10,
+)
+
+
+@given(st.dictionaries(header_names, header_values, max_size=4), bodies)
+@settings(max_examples=150)
+def test_envelope_roundtrip(headers, body):
+    envelope = SoapEnvelope(headers=headers, body=body)
+    restored = SoapEnvelope.from_xml(envelope.to_xml())
+    assert restored.headers == headers
+    assert restored.body == body
+
+
+@given(bodies)
+@settings(max_examples=80)
+def test_marshal_deterministic(body):
+    assert SoapEnvelope(body=body).to_xml() == SoapEnvelope(body=body).to_xml()

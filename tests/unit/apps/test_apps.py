@@ -1,0 +1,197 @@
+"""Unit tests for the reference applications, driven without a simulator.
+
+A small WS-level test jig runs an application generator against scripted
+request/reply contexts, exercising the business logic deterministically.
+"""
+
+import pytest
+
+from repro.ws.api import (
+    MessageContext,
+    WsCompute,
+    WsReceiveAny,
+    WsReceiveRequest,
+    WsSend,
+    WsSendReceive,
+    WsSendReply,
+)
+from repro.apps.counter import counter_app
+from repro.apps.digest import digest_app
+from repro.apps.echo import echo_app
+from repro.apps.payment import bank_app, pge_app
+
+
+class WsJig:
+    """Drives a WS application generator with scripted inputs."""
+
+    def __init__(self, app_factory):
+        self.gen = app_factory()
+        self.pending = self.gen.send(None)
+        self.replies: list[tuple[MessageContext, MessageContext]] = []
+        self.sent: list[MessageContext] = []
+        self._msg_counter = 0
+
+    def _advance(self, value):
+        op = self.gen.send(value)
+        while True:
+            if isinstance(op, WsSendReply):
+                self.replies.append((op.reply, op.request))
+                op = self.gen.send(None)
+            elif isinstance(op, WsCompute):
+                op = self.gen.send(None)
+            elif isinstance(op, WsSend):
+                self.sent.append(op.context)
+                self._msg_counter += 1
+                mid = f"urn:test:msg:{self._msg_counter}"
+                op.context.message_id = mid
+                op = self.gen.send(mid)
+            else:
+                break
+        self.pending = op
+
+    def feed_request(self, body, message_id="urn:c:1"):
+        assert isinstance(self.pending, (WsReceiveRequest, WsReceiveAny)), self.pending
+        context = MessageContext(body=body)
+        context.kind = "request"
+        context.message_id = message_id
+        self._advance(context)
+        return context
+
+    def feed_reply(self, body, relates_to, fault=False):
+        if fault:
+            from repro.soap.faults import CODE_ABORTED, make_fault_envelope
+
+            context = MessageContext(envelope=make_fault_envelope(
+                CODE_ABORTED, "aborted"))
+        else:
+            context = MessageContext(body=body)
+        context.kind = "reply"
+        context.relates_to = relates_to
+        if isinstance(self.pending, WsSendReceive):
+            self.sent.append(self.pending.context)
+            self._advance(context)
+        else:
+            assert isinstance(self.pending, WsReceiveAny), self.pending
+            self._advance(context)
+        return context
+
+    def last_reply_body(self):
+        return self.replies[-1][0].body
+
+
+class TestCounterApp:
+    def test_increments_and_returns_old_value(self):
+        jig = WsJig(counter_app)
+        jig.feed_request({})
+        assert jig.last_reply_body() == {"old": 0, "counter": 1}
+        jig.feed_request({})
+        assert jig.last_reply_body() == {"old": 1, "counter": 2}
+
+
+class TestEchoApp:
+    def test_echoes_body(self):
+        jig = WsJig(echo_app)
+        jig.feed_request({"anything": [1, 2]})
+        assert jig.last_reply_body() == {"anything": [1, 2]}
+
+
+class TestDigestApp:
+    def test_digest_is_deterministic(self):
+        jig1, jig2 = WsJig(digest_app), WsJig(digest_app)
+        jig1.feed_request({"cpu_us": 100, "seq": 5})
+        jig2.feed_request({"cpu_us": 100, "seq": 5})
+        assert jig1.last_reply_body() == jig2.last_reply_body()
+
+    def test_distinct_bodies_distinct_digests(self):
+        jig = WsJig(digest_app)
+        jig.feed_request({"seq": 1})
+        first = jig.last_reply_body()["digest"]
+        jig.feed_request({"seq": 2})
+        assert jig.last_reply_body()["digest"] != first
+
+
+class TestBankApp:
+    def test_approves_within_limit(self):
+        jig = WsJig(lambda: bank_app(card_limit_cents=1000))
+        jig.feed_request({"card": "4111", "amount_cents": 400})
+        assert jig.last_reply_body()["approved"] is True
+
+    def test_declines_over_limit(self):
+        jig = WsJig(lambda: bank_app(card_limit_cents=1000))
+        jig.feed_request({"card": "4111", "amount_cents": 700})
+        jig.feed_request({"card": "4111", "amount_cents": 700})
+        assert jig.last_reply_body()["approved"] is False
+        assert jig.last_reply_body()["reason"] == "limit-exceeded"
+
+    def test_exposure_tracked_per_card(self):
+        jig = WsJig(lambda: bank_app(card_limit_cents=1000))
+        jig.feed_request({"card": "a", "amount_cents": 900})
+        jig.feed_request({"card": "b", "amount_cents": 900})
+        assert jig.last_reply_body()["approved"] is True
+
+    def test_rejects_zero_amount(self):
+        jig = WsJig(bank_app)
+        jig.feed_request({"card": "a", "amount_cents": 0})
+        assert jig.last_reply_body()["approved"] is False
+
+    def test_auth_codes_unique(self):
+        jig = WsJig(bank_app)
+        jig.feed_request({"card": "a", "amount_cents": 1})
+        code1 = jig.last_reply_body()["auth_code"]
+        jig.feed_request({"card": "a", "amount_cents": 1})
+        assert jig.last_reply_body()["auth_code"] != code1
+
+
+class TestPgeSync:
+    def test_validates_then_authorises(self):
+        jig = WsJig(pge_app(synchronous=True))
+        jig.feed_request({"card": "4111", "amount_cents": 500})
+        # The gateway is now blocked on the bank sendReceive.
+        assert isinstance(jig.pending, WsSendReceive)
+        assert jig.pending.context.body["card"] == "4111"
+        jig.feed_reply({"approved": True, "auth_code": "A1"}, relates_to="")
+        body = jig.last_reply_body()
+        assert body["approved"] is True
+        assert body["gateway_volume_cents"] == 500
+
+    def test_rejects_missing_card_without_bank_call(self):
+        jig = WsJig(pge_app(synchronous=True))
+        jig.feed_request({"amount_cents": 500})
+        assert jig.last_reply_body() == {
+            "approved": False, "reason": "missing-card",
+        }
+
+    def test_bank_fault_maps_to_unavailable(self):
+        jig = WsJig(pge_app(synchronous=True))
+        jig.feed_request({"card": "4111", "amount_cents": 500})
+        jig.feed_reply(None, relates_to="", fault=True)
+        assert jig.last_reply_body()["reason"] == "bank-unavailable"
+
+
+class TestPgeAsync:
+    def test_overlaps_requests_while_bank_call_in_flight(self):
+        jig = WsJig(pge_app(synchronous=False))
+        jig.feed_request({"card": "a", "amount_cents": 100}, "urn:c:1")
+        first_bank_mid = jig.sent[-1].message_id
+        # A second request is served before the first bank reply arrives:
+        jig.feed_request({"card": "b", "amount_cents": 200}, "urn:c:2")
+        second_bank_mid = jig.sent[-1].message_id
+        assert first_bank_mid != second_bank_mid
+        # Bank replies come back out of order; pairing must hold.
+        jig.feed_reply({"approved": True, "auth_code": "A2"}, second_bank_mid)
+        reply, original = jig.replies[-1]
+        assert original.message_id == "urn:c:2"
+        jig.feed_reply({"approved": True, "auth_code": "A1"}, first_bank_mid)
+        reply, original = jig.replies[-1]
+        assert original.message_id == "urn:c:1"
+
+    def test_volume_accumulates_in_completion_order(self):
+        jig = WsJig(pge_app(synchronous=False))
+        jig.feed_request({"card": "a", "amount_cents": 100}, "urn:c:1")
+        mid1 = jig.sent[-1].message_id
+        jig.feed_request({"card": "b", "amount_cents": 200}, "urn:c:2")
+        mid2 = jig.sent[-1].message_id
+        jig.feed_reply({"approved": True, "auth_code": "x"}, mid2)
+        assert jig.last_reply_body()["gateway_volume_cents"] == 200
+        jig.feed_reply({"approved": True, "auth_code": "y"}, mid1)
+        assert jig.last_reply_body()["gateway_volume_cents"] == 300

@@ -1,0 +1,125 @@
+"""Unit tests for the standalone CLBFT client proxy."""
+
+from repro.clbft.client import RETRANSMIT_TIMER, ClbftClient
+from repro.clbft.config import GroupConfig
+from repro.clbft.messages import Reply
+
+
+class ClientJig:
+    def __init__(self, n=4):
+        self.config = GroupConfig(n=n)
+        self.sent = []
+        self.timers = {}
+        self.results = []
+        self.client = ClbftClient(
+            name="c",
+            config=self.config,
+            send_to=lambda i, m: self.sent.append((i, m)),
+            set_timer=lambda tag, us: self.timers.__setitem__(tag, us),
+            cancel_timer=lambda tag: self.timers.pop(tag, None),
+            on_result=lambda ts, r: self.results.append((ts, r)),
+        )
+
+    def reply(self, replica, timestamp, result, view=0):
+        self.client.on_reply(
+            replica,
+            Reply(view=view, timestamp=timestamp, client="c",
+                  replica=replica, result=result),
+        )
+
+
+class TestInvocation:
+    def test_sends_to_primary_first(self):
+        jig = ClientJig()
+        jig.client.invoke({"op": 1})
+        assert [i for i, _ in jig.sent] == [0]
+
+    def test_timestamps_increase(self):
+        jig = ClientJig()
+        assert jig.client.invoke("a") == 1
+        assert jig.client.invoke("b") == 2
+
+    def test_retransmit_goes_to_whole_group(self):
+        jig = ClientJig()
+        jig.client.invoke("a")
+        jig.sent.clear()
+        jig.client.on_timer(RETRANSMIT_TIMER)
+        assert sorted(i for i, _ in jig.sent) == [0, 1, 2, 3]
+
+    def test_timer_armed_on_invoke(self):
+        jig = ClientJig()
+        jig.client.invoke("a")
+        assert RETRANSMIT_TIMER in jig.timers
+
+
+class TestWeakCertificate:
+    def test_single_reply_insufficient(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, {"v": 1})
+        assert jig.results == []
+
+    def test_f_plus_1_matching_completes(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, {"v": 1})
+        jig.reply(1, ts, {"v": 1})
+        assert jig.results == [(ts, {"v": 1})]
+
+    def test_mismatched_replies_do_not_complete(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, {"v": 1})
+        jig.reply(1, ts, {"v": 2})  # a faulty replica lies
+        assert jig.results == []
+        jig.reply(2, ts, {"v": 1})  # second honest vote
+        assert jig.results == [(ts, {"v": 1})]
+
+    def test_duplicate_votes_from_same_replica_ignored(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, {"v": 1})
+        jig.reply(0, ts, {"v": 1})
+        assert jig.results == []
+
+    def test_replica_impersonation_rejected(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        # src index 2 claims to be replica 1.
+        jig.client.on_reply(
+            2, Reply(view=0, timestamp=ts, client="c", replica=1,
+                     result={"v": 1}),
+        )
+        jig.reply(0, ts, {"v": 1})
+        assert jig.results == []
+
+    def test_timer_cancelled_when_all_done(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, "r")
+        jig.reply(1, ts, "r")
+        assert RETRANSMIT_TIMER not in jig.timers
+
+    def test_view_hint_updates_from_replies(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, "r", view=2)
+        jig.reply(1, ts, "r", view=2)
+        jig.sent.clear()
+        jig.client.invoke("b")
+        # New invocation targets view 2's primary (index 2).
+        assert [i for i, _ in jig.sent] == [2]
+
+    def test_unreplicated_group_single_reply_suffices(self):
+        jig = ClientJig(n=1)
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, "done")
+        assert jig.results == [(ts, "done")]
+
+    def test_stale_reply_for_completed_call_ignored(self):
+        jig = ClientJig()
+        ts = jig.client.invoke("a")
+        jig.reply(0, ts, "r")
+        jig.reply(1, ts, "r")
+        jig.reply(2, ts, "r")  # third, after completion
+        assert len(jig.results) == 1

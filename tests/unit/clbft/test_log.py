@@ -1,0 +1,101 @@
+"""Unit tests for the message log and certificate predicates."""
+
+from repro.clbft.config import GroupConfig
+from repro.clbft.log import MessageLog, SeqnoEntry
+from repro.clbft.messages import Checkpoint, Commit, PrePrepare, Prepare
+
+CONFIG = GroupConfig(n=4)
+DIGEST = b"d" * 32
+
+
+def pre_prepare(view=0, seqno=1, digest=DIGEST):
+    return PrePrepare(view=view, seqno=seqno, digest=digest, requests=())
+
+
+class TestSeqnoEntry:
+    def test_not_prepared_without_pre_prepare(self):
+        entry = SeqnoEntry()
+        for r in (1, 2, 3):
+            entry.prepares[r] = Prepare(view=0, seqno=1, digest=DIGEST, replica=r)
+        assert not entry.prepared(CONFIG)
+
+    def test_prepared_needs_2f_matching(self):
+        entry = SeqnoEntry(pre_prepare=pre_prepare())
+        entry.prepares[1] = Prepare(view=0, seqno=1, digest=DIGEST, replica=1)
+        assert not entry.prepared(CONFIG)
+        entry.prepares[2] = Prepare(view=0, seqno=1, digest=DIGEST, replica=2)
+        assert entry.prepared(CONFIG)
+
+    def test_mismatched_digests_do_not_count(self):
+        entry = SeqnoEntry(pre_prepare=pre_prepare())
+        entry.prepares[1] = Prepare(view=0, seqno=1, digest=b"x" * 32, replica=1)
+        entry.prepares[2] = Prepare(view=0, seqno=1, digest=b"y" * 32, replica=2)
+        assert not entry.prepared(CONFIG)
+
+    def test_committed_needs_quorum(self):
+        entry = SeqnoEntry(pre_prepare=pre_prepare())
+        for r in (1, 2):
+            entry.prepares[r] = Prepare(view=0, seqno=1, digest=DIGEST, replica=r)
+        for r in (0, 1):
+            entry.commits[r] = Commit(view=0, seqno=1, digest=DIGEST, replica=r)
+        assert not entry.committed_local(CONFIG)
+        entry.commits[2] = Commit(view=0, seqno=1, digest=DIGEST, replica=2)
+        assert entry.committed_local(CONFIG)
+
+    def test_unreplicated_trivial_certificates(self):
+        config1 = GroupConfig(n=1)
+        entry = SeqnoEntry(pre_prepare=pre_prepare())
+        assert entry.prepared(config1)
+        entry.commits[0] = Commit(view=0, seqno=1, digest=DIGEST, replica=0)
+        assert entry.committed_local(config1)
+
+
+class TestWatermarks:
+    def test_initial_window(self):
+        log = MessageLog(CONFIG)
+        assert log.in_window(1)
+        assert log.in_window(CONFIG.log_window)
+        assert not log.in_window(0)
+        assert not log.in_window(CONFIG.log_window + 1)
+
+    def test_window_slides_with_stable_checkpoint(self):
+        log = MessageLog(CONFIG)
+        for r in range(3):
+            log.add_checkpoint(
+                Checkpoint(seqno=16, state_digest=b"s" * 32, replica=r)
+            )
+        assert log.stable_seqno == 16
+        assert not log.in_window(16)
+        assert log.in_window(17)
+        assert log.in_window(16 + CONFIG.log_window)
+
+
+class TestPreparedProofs:
+    def test_highest_view_wins_per_seqno(self):
+        log = MessageLog(CONFIG)
+        for view in (0, 1):
+            entry = log.entry(view, 5)
+            entry.pre_prepare = pre_prepare(view=view, seqno=5,
+                                            digest=bytes([view]) * 32)
+            for r in (1, 2):
+                entry.prepares[r] = Prepare(
+                    view=view, seqno=5, digest=bytes([view]) * 32, replica=r
+                )
+        proofs = log.prepared_proofs_above(0)
+        assert len(proofs) == 1
+        assert proofs[0].pre_prepare.view == 1
+
+    def test_unprepared_entries_excluded(self):
+        log = MessageLog(CONFIG)
+        entry = log.entry(0, 3)
+        entry.pre_prepare = pre_prepare(seqno=3)
+        assert log.prepared_proofs_above(0) == []
+
+    def test_below_threshold_excluded(self):
+        log = MessageLog(CONFIG)
+        entry = log.entry(0, 3)
+        entry.pre_prepare = pre_prepare(seqno=3)
+        for r in (1, 2):
+            entry.prepares[r] = Prepare(view=0, seqno=3, digest=DIGEST, replica=r)
+        assert log.prepared_proofs_above(3) == []
+        assert len(log.prepared_proofs_above(2)) == 1

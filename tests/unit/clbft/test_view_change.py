@@ -1,0 +1,130 @@
+"""CLBFT view changes: liveness under a faulty primary."""
+
+from repro.clbft.replica import VIEW_CHANGE_TIMER
+from tests.unit.clbft.harness import Group
+
+
+def silence_primary(group: Group, primary: int = 0) -> None:
+    """The primary's outgoing messages vanish (mute-primary fault)."""
+    group.bus.drop = lambda src, dst, msg: src == primary
+
+
+class TestViewChange:
+    def test_mute_primary_triggers_view_change_and_executes(self):
+        group = Group(4)
+        silence_primary(group)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        # No progress: backups' view-change timers fire.
+        assert all(group.executed_ops(i) == [] for i in range(1, 4))
+        for i in range(1, 4):
+            group.fire_timer(i)
+        group.deliver_all()
+        # View 1's primary is replica 1; the request must now execute on
+        # all correct replicas.
+        for i in range(1, 4):
+            assert group.executed_ops(i) == [{"op": "a"}], f"replica {i}"
+            assert group.replicas[i].view == 1
+
+    def test_view_change_preserves_executed_requests(self):
+        group = Group(4)
+        group.submit({"op": "first"}, timestamp=1)
+        group.deliver_all()
+        silence_primary(group)
+        group.submit({"op": "second"}, timestamp=2)
+        group.deliver_all()
+        for i in range(1, 4):
+            group.fire_timer(i)
+        group.deliver_all()
+        for i in range(1, 4):
+            assert group.executed_ops(i) == [{"op": "first"}, {"op": "second"}]
+
+    def test_no_request_reexecution_across_views(self):
+        group = Group(4)
+        silence_primary(group)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        for i in range(1, 4):
+            group.fire_timer(i)
+        group.deliver_all()
+        counts = [group.executed_ops(i).count({"op": "a"}) for i in range(1, 4)]
+        assert counts == [1, 1, 1]
+
+    def test_successive_view_changes(self):
+        group = Group(7)
+        # Both view-0 and view-1 primaries are mute.
+        group.bus.drop = lambda src, dst, msg: src in (0, 1)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        for i in range(2, 7):
+            group.fire_timer(i)
+        group.deliver_all()
+        # View 1's primary (replica 1) is also mute; timers fire again.
+        for i in range(2, 7):
+            group.fire_timer(i)
+        group.deliver_all()
+        for i in range(2, 7):
+            assert group.executed_ops(i) == [{"op": "a"}], f"replica {i}"
+            assert group.replicas[i].view == 2
+
+    def test_join_rule_pulls_lagging_replica(self):
+        group = Group(4)
+        silence_primary(group)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        # Only two backups time out; the third must join via f+1 rule.
+        group.fire_timer(1)
+        group.fire_timer(2)
+        group.deliver_all()
+        assert group.replicas[3].view == 1
+        for i in range(1, 4):
+            assert group.executed_ops(i) == [{"op": "a"}]
+
+    def test_timer_armed_while_pending(self):
+        group = Group(4)
+        silence_primary(group)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        for i in range(1, 4):
+            assert group.timers.is_armed(i, VIEW_CHANGE_TIMER)
+
+    def test_timer_cancelled_after_execution(self):
+        group = Group(4)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        for i in range(4):
+            assert not group.timers.is_armed(i, VIEW_CHANGE_TIMER)
+
+    def test_view_change_counter(self):
+        group = Group(4)
+        silence_primary(group)
+        group.submit({"op": "a"})
+        group.deliver_all()
+        for i in range(1, 4):
+            group.fire_timer(i)
+        group.deliver_all()
+        assert all(
+            group.replicas[i].view_changes_completed >= 1 for i in range(1, 4)
+        )
+
+
+class TestNewViewValidation:
+    def test_new_view_from_wrong_primary_ignored(self):
+        from repro.clbft.messages import NewView
+
+        group = Group(4)
+        fake = NewView(view=1, view_changes=(), pre_prepares=())
+        group.replicas[2].on_message(3, fake)  # view 1 primary is 1, not 3
+        assert group.replicas[2].view == 0
+
+    def test_new_view_without_quorum_ignored(self):
+        from repro.clbft.messages import NewView, ViewChange
+
+        group = Group(4)
+        lone_vote = ViewChange(
+            new_view=1, stable_seqno=0, checkpoint_proof=(),
+            prepared=(), replica=2,
+        )
+        fake = NewView(view=1, view_changes=(lone_vote,), pre_prepares=())
+        group.replicas[2].on_message(1, fake)
+        assert group.replicas[2].view == 0

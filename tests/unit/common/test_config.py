@@ -1,0 +1,61 @@
+"""Unit tests for replication configuration and service specs."""
+
+import pytest
+
+from repro.common.config import ReplicationConfig, ServiceSpec, make_spec
+from repro.common.errors import ConfigurationError
+from repro.common.ids import NodeId, ServiceId
+
+
+class TestReplicationConfig:
+    def test_for_group_size(self):
+        config = ReplicationConfig.for_group_size(7)
+        assert config.n == 7
+        assert config.f == 2
+
+    def test_for_fault_bound(self):
+        config = ReplicationConfig.for_fault_bound(3)
+        assert config.n == 10
+        assert config.f == 3
+
+    def test_invalid_combination_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(n=3, f=1)
+
+    def test_overprovisioned_accepted(self):
+        assert ReplicationConfig(n=10, f=1).f == 1
+
+    def test_is_replicated(self):
+        assert not ReplicationConfig.for_group_size(1).is_replicated
+        assert ReplicationConfig.for_group_size(4).is_replicated
+
+
+class TestServiceSpec:
+    def test_replicas_and_nodes(self):
+        spec = make_spec("pge", 4)
+        assert spec.n == 4
+        assert spec.f == 1
+        assert len(spec.replicas()) == 4
+        assert [v.role for v in spec.voters()] == [NodeId.VOTER] * 4
+        assert [d.role for d in spec.drivers()] == [NodeId.DRIVER] * 4
+
+    def test_default_endpoints_synthesised(self):
+        spec = make_spec("pge", 4)
+        assert spec.endpoint_of(2) == "perpetual://pge/2"
+
+    def test_explicit_endpoints(self):
+        spec = make_spec("pge", 2 + 2, endpoints=("a", "b", "c", "d"))
+        assert spec.endpoint_of(0) == "a"
+        assert spec.endpoint_of(3) == "d"
+
+    def test_endpoint_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec("pge", 4, endpoints=("a", "b"))
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec("pge", 4, endpoints=("a", "a", "b", "c"))
+
+    def test_service_identity(self):
+        spec = make_spec("bank", 1)
+        assert spec.service == ServiceId("bank")

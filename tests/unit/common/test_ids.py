@@ -1,0 +1,86 @@
+"""Unit tests for typed identifiers."""
+
+import pytest
+
+from repro.common.ids import (
+    MessageId,
+    NodeId,
+    ReplicaId,
+    RequestId,
+    RequestIdAllocator,
+    ServiceId,
+    driver,
+    voter,
+)
+
+
+class TestServiceId:
+    def test_equality_and_hash(self):
+        assert ServiceId("bank") == ServiceId("bank")
+        assert hash(ServiceId("bank")) == hash(ServiceId("bank"))
+        assert ServiceId("bank") != ServiceId("pge")
+
+    def test_ordering(self):
+        assert ServiceId("a") < ServiceId("b")
+
+    def test_str(self):
+        assert str(ServiceId("bank")) == "bank"
+
+
+class TestNodeId:
+    def test_roles(self):
+        v = voter("pge", 2)
+        d = driver("pge", 2)
+        assert v.role == NodeId.VOTER
+        assert d.role == NodeId.DRIVER
+        assert v.replica == d.replica
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            NodeId(ReplicaId(ServiceId("s"), 0), "observer")
+
+    def test_peer_is_involution(self):
+        v = voter("s", 1)
+        assert v.peer().role == NodeId.DRIVER
+        assert v.peer().peer() == v
+
+    def test_str_forms(self):
+        assert str(voter("bank", 0)) == "bank[0]/voter"
+        assert str(driver("bank", 3)) == "bank[3]/driver"
+
+    def test_accessors(self):
+        v = voter("bank", 1)
+        assert v.service == ServiceId("bank")
+        assert v.index == 1
+
+
+class TestRequestId:
+    def test_ordering_by_origin_then_seqno(self):
+        a = RequestId(ServiceId("a"), 5)
+        b = RequestId(ServiceId("a"), 6)
+        c = RequestId(ServiceId("b"), 0)
+        assert a < b < c
+
+    def test_str(self):
+        assert str(RequestId(ServiceId("store"), 7)) == "store#7"
+
+
+class TestRequestIdAllocator:
+    def test_sequential_and_deterministic(self):
+        alloc1 = RequestIdAllocator(ServiceId("s"), start=1)
+        alloc2 = RequestIdAllocator(ServiceId("s"), start=1)
+        ids1 = [alloc1.next_id() for _ in range(5)]
+        ids2 = [alloc2.next_id() for _ in range(5)]
+        assert ids1 == ids2
+        assert [r.seqno for r in ids1] == [1, 2, 3, 4, 5]
+
+    def test_distinct_origins_do_not_collide(self):
+        a = RequestIdAllocator(ServiceId("a")).next_id()
+        b = RequestIdAllocator(ServiceId("b")).next_id()
+        assert a != b
+
+
+class TestMessageId:
+    def test_value_roundtrip(self):
+        assert str(MessageId("urn:x:1")) == "urn:x:1"
+        assert MessageId("x") == MessageId("x")

@@ -1,0 +1,102 @@
+"""Unit tests for quorum arithmetic (3f+1 bounds)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.quorum import (
+    agreement_quorum,
+    fault_bound,
+    group_size,
+    matching_request_quorum,
+    reply_bundle_quorum,
+    validate_group,
+    weak_certificate,
+)
+
+
+class TestGroupSize:
+    def test_zero_faults_needs_one_replica(self):
+        assert group_size(0) == 1
+
+    def test_paper_configurations(self):
+        # The paper evaluates groups of 1, 4, 7, 10 = 3f+1 for f = 0..3.
+        assert [group_size(f) for f in range(4)] == [1, 4, 7, 10]
+
+    def test_negative_fault_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            group_size(-1)
+
+
+class TestFaultBound:
+    def test_unreplicated_tolerates_nothing(self):
+        assert fault_bound(1) == 0
+
+    def test_sub_quorum_groups_tolerate_nothing(self):
+        assert fault_bound(2) == 0
+        assert fault_bound(3) == 0
+
+    def test_paper_groups(self):
+        assert fault_bound(4) == 1
+        assert fault_bound(7) == 2
+        assert fault_bound(10) == 3
+
+    def test_non_aligned_sizes_round_down(self):
+        assert fault_bound(5) == 1
+        assert fault_bound(6) == 1
+        assert fault_bound(9) == 2
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_bound(0)
+
+    def test_roundtrip_with_group_size(self):
+        for f in range(10):
+            assert fault_bound(group_size(f)) == f
+
+
+class TestQuorums:
+    def test_agreement_quorum_is_2f_plus_1(self):
+        assert agreement_quorum(4) == 3
+        assert agreement_quorum(7) == 5
+        assert agreement_quorum(10) == 7
+
+    def test_agreement_quorum_unreplicated(self):
+        assert agreement_quorum(1) == 1
+
+    def test_weak_certificate_is_f_plus_1(self):
+        assert weak_certificate(1) == 1
+        assert weak_certificate(4) == 2
+        assert weak_certificate(7) == 3
+        assert weak_certificate(10) == 4
+
+    def test_two_agreement_quorums_intersect_in_correct_replica(self):
+        # 2 * (2f+1) - (3f+1) = f + 1 > f: any two quorums share a correct
+        # replica -- the safety core of CLBFT.
+        for n in (1, 4, 7, 10, 13):
+            f = fault_bound(n)
+            assert 2 * agreement_quorum(n) - n >= f + 1
+
+    def test_matching_request_quorum_matches_paper_stage_2(self):
+        # fc + 1 matching requests from calling drivers.
+        assert matching_request_quorum(1) == 1
+        assert matching_request_quorum(4) == 2
+        assert matching_request_quorum(10) == 4
+
+    def test_reply_bundle_quorum_matches_paper_stage_6(self):
+        # ft + 1 matching replies in the bundle.
+        assert reply_bundle_quorum(1) == 1
+        assert reply_bundle_quorum(7) == 3
+
+
+class TestValidateGroup:
+    def test_accepts_exact(self):
+        validate_group(4, 1)
+
+    def test_accepts_overprovisioned(self):
+        validate_group(10, 1)
+
+    def test_rejects_insufficient(self):
+        with pytest.raises(ConfigurationError):
+            validate_group(3, 1)
+        with pytest.raises(ConfigurationError):
+            validate_group(9, 3)

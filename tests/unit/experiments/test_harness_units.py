@@ -1,0 +1,68 @@
+"""Unit tests for experiment harness plumbing and the CLI."""
+
+import pytest
+
+from repro.experiments.ablations import ReplyPathRow, reply_path_ablation
+from repro.experiments.cli import main
+from repro.experiments.microbench import MicrobenchResult
+
+
+class TestMicrobenchResult:
+    def make(self, **overrides):
+        defaults = dict(
+            n_calling=4, n_target=4, window=1, cpu_ms=0, completed=100,
+            aborted=0, duration_s=2.0, throughput_rps=50.0,
+            ms_per_request=20.0,
+        )
+        defaults.update(overrides)
+        return MicrobenchResult(**defaults)
+
+    def test_row_contains_key_figures(self):
+        row = self.make().row()
+        assert "nc=4" in row and "nt=4" in row
+        assert "50.0 req/s" in row
+
+    def test_frozen(self):
+        result = self.make()
+        with pytest.raises(AttributeError):
+            result.completed = 7
+
+
+class TestReplyPathRow:
+    def test_formulas(self):
+        row = ReplyPathRow(n_target=4, n_calling=4)
+        assert row.responder_messages == 3 + 4
+        assert row.all_to_all_messages == 16
+
+    def test_savings_grow_with_scale(self):
+        small = ReplyPathRow(4, 4).savings_factor
+        large = ReplyPathRow(10, 10).savings_factor
+        assert large > small
+
+    def test_grid_covers_all_pairs(self):
+        rows = reply_path_ablation((1, 4))
+        pairs = {(r.n_target, r.n_calling) for r in rows}
+        assert pairs == {(1, 1), (1, 4), (4, 1), (4, 4)}
+
+
+class TestCli:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Perpetual-WS" in out
+
+    def test_ablations_reply_path_only_output(self, capsys):
+        # Use a tiny calls budget to keep this a unit-scale test.
+        assert main(["ablations", "--calls", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "responder bundling" in out
+        assert "MAC vs signatures" in out
+
+    def test_fig7_tiny(self, capsys):
+        assert main(["fig7", "--calls", "3", "--groups", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,126 @@
+"""Unit tests for the deterministic round-robin scheduler extension."""
+
+import itertools
+
+from repro.common.ids import RequestId, ServiceId
+from repro.perpetual.executor import (
+    ExecutorRuntime,
+    ReceiveRequest,
+    ReplyEvent,
+    RequestEvent,
+    Send,
+    SendReply,
+)
+from repro.perpetual.scheduler import round_robin
+
+
+def make_runtime(app_factory):
+    counter = itertools.count(1)
+    return ExecutorRuntime(
+        app_factory=app_factory,
+        allocate_request_id=lambda: RequestId(ServiceId("me"), next(counter)),
+    )
+
+
+def request_event(seqno, payload):
+    return RequestEvent(
+        request_id=RequestId(ServiceId("caller"), seqno),
+        caller="caller",
+        payload=payload,
+    )
+
+
+def test_two_services_multiplexed():
+    """Two logical services in one replica, partitioned by payload kind."""
+    log = []
+
+    def ping_thread():
+        while True:
+            event = yield ReceiveRequest()
+            log.append(("ping", event.payload["n"]))
+            yield SendReply(event, "pong")
+
+    def sum_thread():
+        total = 0
+        while True:
+            event = yield ReceiveRequest()
+            total += event.payload["n"]
+            log.append(("sum", total))
+            yield SendReply(event, total)
+
+    app = round_robin([
+        ("ping", ping_thread, lambda p: p.get("kind") == "ping"),
+        ("sum", sum_thread, lambda p: p.get("kind") == "sum"),
+    ])
+    runtime = make_runtime(app)
+    runtime.step()
+    runtime.deliver_request(request_event(1, {"kind": "sum", "n": 5}))
+    runtime.step()
+    runtime.deliver_request(request_event(2, {"kind": "ping", "n": 1}))
+    runtime.step()
+    runtime.deliver_request(request_event(3, {"kind": "sum", "n": 7}))
+    runtime.step()
+    assert log == [("sum", 5), ("ping", 1), ("sum", 12)]
+
+
+def test_replies_routed_to_issuing_thread():
+    from repro.perpetual.executor import ReceiveReply
+
+    log = []
+
+    def thread_a():
+        rid = yield Send("t", "a")
+        event = yield ReceiveReply(rid)
+        log.append(("a", event.payload))
+
+    def thread_b():
+        rid = yield Send("t", "b")
+        event = yield ReceiveReply(rid)
+        log.append(("b", event.payload))
+
+    app = round_robin([
+        ("a", thread_a, lambda p: False),
+        ("b", thread_b, lambda p: False),
+    ])
+    runtime = make_runtime(app)
+    runtime.step()
+    outbox = runtime.take_outbox()
+    assert len(outbox.sends) == 2
+    (rid_a, send_a), (rid_b, send_b) = outbox.sends
+    assert (send_a.payload, send_b.payload) == ("a", "b")
+    # Deliver b's reply first: it must wake thread b, not thread a.
+    runtime.deliver_reply(ReplyEvent(rid_b, "reply-b"))
+    runtime.step()
+    runtime.deliver_reply(ReplyEvent(rid_a, "reply-a"))
+    runtime.step()
+    assert sorted(log) == [("a", "reply-a"), ("b", "reply-b")]
+    assert log[0] == ("b", "reply-b")
+
+
+def test_determinism_across_instances():
+    def make(log):
+        def ping():
+            while True:
+                event = yield ReceiveRequest()
+                log.append(("p", event.payload["n"]))
+                yield SendReply(event, None)
+
+        def pong():
+            while True:
+                event = yield ReceiveRequest()
+                log.append(("q", event.payload["n"]))
+                yield SendReply(event, None)
+
+        return round_robin([
+            ("ping", ping, lambda p: p["n"] % 2 == 0),
+            ("pong", pong, lambda p: p["n"] % 2 == 1),
+        ])
+
+    logs = ([], [])
+    for log in logs:
+        runtime = make_runtime(make(log))
+        runtime.step()
+        for n in range(6):
+            runtime.deliver_request(request_event(n + 1, {"n": n}))
+            runtime.step()
+    assert logs[0] == logs[1]

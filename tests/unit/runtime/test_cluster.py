@@ -1,0 +1,140 @@
+"""Unit tests for the threaded cluster primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.cluster import ThreadedCluster
+from repro.sim.kernel import ProtocolNode
+
+
+class Collector(ProtocolNode):
+    def __init__(self):
+        self.messages = []
+        self.timers = []
+        self.lock = threading.Lock()
+
+    def on_message(self, src, msg):
+        with self.lock:
+            self.messages.append((str(src), msg))
+
+    def on_timer(self, tag):
+        with self.lock:
+            self.timers.append(tag)
+
+
+@pytest.fixture
+def cluster():
+    c = ThreadedCluster()
+    yield c
+    c.shutdown()
+
+
+def wait_for(predicate, timeout_s=5.0):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestMessaging:
+    def test_delivery(self, cluster):
+        a, b = Collector(), Collector()
+        env_a = cluster.add_node("a", a)
+        cluster.add_node("b", b)
+        cluster.start()
+        env_a.send("b", "hello")
+        assert wait_for(lambda: b.messages == [("a", "hello")])
+
+    def test_local_deliver(self, cluster):
+        a, b = Collector(), Collector()
+        env_a = cluster.add_node("a", a)
+        cluster.add_node("b", b)
+        cluster.start()
+        env_a.local_deliver("b", {"x": 1})
+        assert wait_for(lambda: len(b.messages) == 1)
+
+    def test_unknown_destination_harmless(self, cluster):
+        a = Collector()
+        env_a = cluster.add_node("a", a)
+        cluster.start()
+        env_a.send("ghost", "x")  # must not raise
+
+    def test_dropped_node_isolated(self, cluster):
+        a, b = Collector(), Collector()
+        env_a = cluster.add_node("a", a)
+        env_b = cluster.add_node("b", b)
+        cluster.start()
+        cluster.drop_node("b")
+        env_a.send("b", "never")
+        env_b.send("a", "never")
+        time.sleep(0.1)
+        assert b.messages == []
+        assert a.messages == []
+
+    def test_handler_exception_recorded_not_fatal(self, cluster):
+        class Exploding(ProtocolNode):
+            def on_message(self, src, msg):
+                raise RuntimeError("bang")
+
+            def on_timer(self, tag):
+                pass
+
+        node = Exploding()
+        cluster.add_node("x", node)
+        ok = Collector()
+        cluster.add_node("ok", ok)
+        env = cluster.add_node("driver", Collector())
+        cluster.start()
+        env.send("x", 1)
+        env.send("ok", 2)
+        assert wait_for(lambda: len(ok.messages) == 1)
+        assert wait_for(lambda: len(cluster.errors()) == 1)
+
+
+class TestTimers:
+    def test_timer_fires(self, cluster):
+        a = Collector()
+        env = cluster.add_node("a", a)
+        cluster.start()
+        env.set_timer("t", 20_000)
+        assert wait_for(lambda: a.timers == ["t"])
+
+    def test_cancel(self, cluster):
+        a = Collector()
+        env = cluster.add_node("a", a)
+        cluster.start()
+        env.set_timer("t", 50_000)
+        env.cancel_timer("t")
+        time.sleep(0.12)
+        assert a.timers == []
+
+    def test_rearm_replaces(self, cluster):
+        a = Collector()
+        env = cluster.add_node("a", a)
+        cluster.start()
+        env.set_timer("t", 500_000)
+        env.set_timer("t", 10_000)
+        assert wait_for(lambda: a.timers == ["t"], timeout_s=0.4)
+
+
+class TestQuiescence:
+    def test_await_quiescent(self, cluster):
+        a, b = Collector(), Collector()
+        env_a = cluster.add_node("a", a)
+        cluster.add_node("b", b)
+        cluster.start()
+        for i in range(20):
+            env_a.send("b", i)
+        assert cluster.await_quiescent(timeout_s=5.0)
+        assert len(b.messages) == 20
+
+    def test_clock_monotone(self, cluster):
+        env = cluster.add_node("a", Collector())
+        t1 = env.now_us()
+        time.sleep(0.02)
+        assert env.now_us() > t1
+        assert env.now_ms() >= 0

@@ -1,0 +1,122 @@
+"""Unit tests for network models and fault injection."""
+
+from repro.sim.network import (
+    FaultyLink,
+    LanModel,
+    PartitionModel,
+    UniformLatency,
+)
+from repro.sim.rng import DeterministicRng
+
+
+class TestUniformLatency:
+    def test_constant(self):
+        model = UniformLatency(42)
+        assert model.latency_us("a", "b", 10) == 42
+        assert model.latency_us("b", "a", 10_000) == 42
+
+
+class TestLanModel:
+    def test_size_increases_latency(self):
+        model = LanModel(propagation_us=100, ns_per_byte=8)
+        small = model.latency_us("a", "b", 100)
+        large = model.latency_us("a", "b", 100_000)
+        assert large > small
+
+    def test_propagation_floor(self):
+        model = LanModel(propagation_us=50, ns_per_byte=0)
+        assert model.latency_us("a", "b", 1) == 50
+
+    def test_jitter_bounded_and_deterministic(self):
+        rng = DeterministicRng(1, "jitter")
+        model = LanModel(propagation_us=10, ns_per_byte=0, jitter_us=5, rng=rng)
+        values = [model.latency_us("a", "b", 0) for _ in range(50)]
+        assert all(10 <= v <= 15 for v in values)
+        rng2 = DeterministicRng(1, "jitter")
+        model2 = LanModel(propagation_us=10, ns_per_byte=0, jitter_us=5, rng=rng2)
+        assert values == [model2.latency_us("a", "b", 0) for _ in range(50)]
+
+
+class TestFaultyLink:
+    def test_drop_everything_on_link(self):
+        model = FaultyLink(UniformLatency(1))
+        model.add_rule("a", "b", drop=1.0)
+        assert model.latency_us("a", "b", 0) is None
+        assert model.latency_us("b", "a", 0) == 1
+
+    def test_extra_delay(self):
+        model = FaultyLink(UniformLatency(10))
+        model.add_rule("a", "b", extra_delay_us=90)
+        assert model.latency_us("a", "b", 0) == 100
+
+    def test_wildcards(self):
+        model = FaultyLink(UniformLatency(1))
+        model.add_rule("evil", "*", drop=1.0)
+        assert model.latency_us("evil", "x", 0) is None
+        assert model.latency_us("ok", "x", 0) == 1
+
+    def test_clear_rules(self):
+        model = FaultyLink(UniformLatency(1))
+        model.add_rule("a", "b", drop=1.0)
+        model.clear_rules()
+        assert model.latency_us("a", "b", 0) == 1
+
+    def test_probabilistic_drop_rate(self):
+        model = FaultyLink(UniformLatency(1), rng=DeterministicRng(3, "d"))
+        model.add_rule("a", "b", drop=0.5)
+        outcomes = [model.latency_us("a", "b", 0) for _ in range(400)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 120 <= dropped <= 280  # roughly half
+
+
+class TestPartitionModel:
+    def test_killed_node_isolated_both_ways(self):
+        model = PartitionModel(UniformLatency(1))
+        model.kill("x")
+        assert model.latency_us("x", "y", 0) is None
+        assert model.latency_us("y", "x", 0) is None
+        assert model.latency_us("y", "z", 0) == 1
+
+    def test_revive(self):
+        model = PartitionModel(UniformLatency(1))
+        model.kill("x")
+        model.revive("x")
+        assert model.latency_us("x", "y", 0) == 1
+
+    def test_is_dead(self):
+        model = PartitionModel(UniformLatency(1))
+        model.kill("x")
+        assert model.is_dead("x")
+        assert not model.is_dead("y")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(5, "x")
+        b = DeterministicRng(5, "x")
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_labels_decorrelate(self):
+        a = DeterministicRng(5, "x")
+        b = DeterministicRng(5, "y")
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_child_streams(self):
+        root = DeterministicRng(5)
+        c1 = root.stream("a")
+        c2 = root.stream("a")
+        assert c1.randint(0, 10**9) == c2.randint(0, 10**9)
+
+    def test_sample_mean_us_positive(self):
+        rng = DeterministicRng(1, "t")
+        samples = [rng.sample_mean_us(1000) for _ in range(200)]
+        assert all(s >= 1 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert 500 < mean < 2000
+
+    def test_sample_mean_zero(self):
+        assert DeterministicRng(1).sample_mean_us(0) == 0

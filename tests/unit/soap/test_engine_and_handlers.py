@@ -1,0 +1,122 @@
+"""Unit tests for WS-Addressing, handler pipes, engine, and faults."""
+
+import pytest
+
+from repro.soap.addressing import WsAddressing
+from repro.soap.engine import SoapEngine
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.faults import (
+    CODE_ABORTED,
+    SoapFault,
+    fault_of,
+    make_fault_envelope,
+)
+from repro.soap.handlers import CountingHandler, FunctionHandler, HandlerChain
+from repro.ws.api import MessageContext
+
+
+class TestWsAddressing:
+    def test_set_get_all_fields(self):
+        envelope = SoapEnvelope()
+        WsAddressing.set_message_id(envelope, "urn:1")
+        WsAddressing.set_reply_to(envelope, "store")
+        WsAddressing.set_to(envelope, "pge")
+        WsAddressing.set_relates_to(envelope, "urn:0")
+        WsAddressing.set_action(envelope, "authorize")
+        assert WsAddressing.message_id(envelope) == "urn:1"
+        assert WsAddressing.reply_to(envelope) == "store"
+        assert WsAddressing.to(envelope) == "pge"
+        assert WsAddressing.relates_to(envelope) == "urn:0"
+        assert WsAddressing.action(envelope) == "authorize"
+
+    def test_headers_survive_marshal(self):
+        envelope = SoapEnvelope()
+        WsAddressing.set_message_id(envelope, "urn:42")
+        restored = SoapEnvelope.from_xml(envelope.to_xml())
+        assert WsAddressing.message_id(restored) == "urn:42"
+
+    def test_missing_fields_default_empty(self):
+        assert WsAddressing.message_id(SoapEnvelope()) == ""
+
+
+class TestHandlerChain:
+    def test_invocation_order(self):
+        seen = []
+        chain = HandlerChain()
+        chain.add(FunctionHandler("first", lambda ctx: seen.append("first")))
+        chain.add(FunctionHandler("second", lambda ctx: seen.append("second")))
+        chain.add_first(FunctionHandler("zeroth", lambda ctx: seen.append("zeroth")))
+        chain.invoke(None)
+        assert seen == ["zeroth", "first", "second"]
+
+    def test_names(self):
+        chain = HandlerChain([CountingHandler("a"), CountingHandler("b")])
+        assert chain.names() == ["a", "b"]
+
+
+class TestEngine:
+    def test_out_pipe_stamps_addressing(self):
+        engine = SoapEngine()
+        context = MessageContext(to="pge", body={"x": 1})
+        context.local_service = "store"
+        counter = [0]
+
+        def allocate():
+            counter[0] += 1
+            return f"urn:store:msg:{counter[0]}"
+
+        context._allocate = allocate
+        payload = engine.send_through(context)
+        envelope = SoapEnvelope.from_xml(payload)
+        assert WsAddressing.message_id(envelope) == "urn:store:msg:1"
+        assert WsAddressing.reply_to(envelope) == "store"
+        assert engine.marshalled == 1
+
+    def test_in_pipe_extracts_correlation(self):
+        engine = SoapEngine()
+        outgoing = SoapEnvelope(body={"ok": True})
+        WsAddressing.set_message_id(outgoing, "urn:9")
+        WsAddressing.set_relates_to(outgoing, "urn:8")
+        context = MessageContext()
+        engine.receive_through(context, outgoing.to_xml())
+        assert context.message_id == "urn:9"
+        assert context.relates_to == "urn:8"
+        assert engine.demarshalled == 1
+
+    def test_custom_handlers_run(self):
+        engine = SoapEngine()
+        counting = CountingHandler()
+        engine.add_out_handler(counting)
+        context = MessageContext(to="x", body=None)
+        context._allocate = lambda: "urn:1"
+        context.local_service = "s"
+        engine.send_through(context)
+        assert counting.count == 1
+
+    def test_existing_message_id_not_overwritten(self):
+        engine = SoapEngine()
+        context = MessageContext(to="pge", body=None)
+        WsAddressing.set_message_id(context.envelope, "urn:preset")
+        context._allocate = lambda: "urn:generated"
+        context.local_service = "s"
+        payload = engine.send_through(context)
+        restored = SoapEnvelope.from_xml(payload)
+        assert WsAddressing.message_id(restored) == "urn:preset"
+
+
+class TestFaults:
+    def test_fault_envelope_roundtrip(self):
+        envelope = make_fault_envelope(CODE_ABORTED, "timed out")
+        restored = SoapEnvelope.from_xml(envelope.to_xml())
+        fault = fault_of(restored)
+        assert fault == SoapFault(code=CODE_ABORTED, reason="timed out")
+
+    def test_non_fault_envelope(self):
+        assert fault_of(SoapEnvelope(body={"x": 1})) is None
+
+    def test_message_context_fault_accessors(self):
+        context = MessageContext(envelope=make_fault_envelope(CODE_ABORTED, "r"))
+        assert context.is_fault
+        assert context.fault.code == CODE_ABORTED
+        plain = MessageContext(body={"x": 1})
+        assert not plain.is_fault

@@ -1,0 +1,86 @@
+"""Unit tests for SOAP envelopes and the typed body codec."""
+
+import pytest
+import xml.etree.ElementTree as ET
+
+from repro.common.errors import ProtocolError
+from repro.soap.envelope import SOAP_NS, SoapEnvelope, body_from_xml, body_to_xml
+
+
+class TestBodyCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -5,
+            12345678901234,
+            "",
+            "text with spaces & symbols <>",
+            b"\x00\x01binary",
+            [],
+            [1, "two", None],
+            {"k": "v"},
+            {"nested": {"list": [{"deep": True}]}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        root = ET.Element("root")
+        element = body_to_xml(root, "payload", value)
+        assert body_from_xml(element) == value
+
+    def test_non_string_map_keys_rejected(self):
+        root = ET.Element("root")
+        with pytest.raises(ProtocolError):
+            body_to_xml(root, "payload", {1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        root = ET.Element("root")
+        with pytest.raises(ProtocolError):
+            body_to_xml(root, "payload", object())
+
+    def test_unknown_type_attribute_rejected(self):
+        element = ET.Element("payload")
+        element.set("t", "quaternion")
+        with pytest.raises(ProtocolError):
+            body_from_xml(element)
+
+
+class TestEnvelope:
+    def test_xml_roundtrip(self):
+        envelope = SoapEnvelope(
+            headers={"wsa:To": "pge", "wsa:MessageID": "urn:1"},
+            body={"amount": 100, "card": "4111"},
+        )
+        data = envelope.to_xml()
+        restored = SoapEnvelope.from_xml(data)
+        assert restored.headers == envelope.headers
+        assert restored.body == envelope.body
+
+    def test_produces_real_soap_xml(self):
+        data = SoapEnvelope(body={"x": 1}).to_xml()
+        root = ET.fromstring(data)
+        assert root.tag == f"{{{SOAP_NS}}}Envelope"
+        children = [child.tag for child in root]
+        assert f"{{{SOAP_NS}}}Header" in children
+        assert f"{{{SOAP_NS}}}Body" in children
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ProtocolError):
+            SoapEnvelope.from_xml(b"<not-even-close")
+
+    def test_non_envelope_root_rejected(self):
+        with pytest.raises(ProtocolError):
+            SoapEnvelope.from_xml(b"<wrong/>")
+
+    def test_copy_is_independent(self):
+        envelope = SoapEnvelope(headers={"h": "1"}, body={"x": 1})
+        copied = envelope.copy()
+        copied.headers["h"] = "2"
+        assert envelope.headers["h"] == "1"
+
+    def test_empty_body(self):
+        restored = SoapEnvelope.from_xml(SoapEnvelope().to_xml())
+        assert restored.body is None

@@ -1,0 +1,212 @@
+"""Unit tests for the bookstore service logic and the RBE generator."""
+
+from repro.tpcw.bookstore import BookstoreStats, bookstore_app
+from repro.tpcw.interactions import (
+    BEST_SELLERS,
+    BUY_CONFIRM,
+    BUY_REQUEST,
+    HOME,
+    ORDER_DISPLAY,
+    PRODUCT_DETAIL,
+    SEARCH_RESULTS,
+    SHOPPING_CART,
+)
+from repro.tpcw.model import BookstoreDatabase
+from repro.ws.api import (
+    MessageContext,
+    WsCompute,
+    WsReceiveAny,
+    WsSend,
+    WsSendReceive,
+    WsSendReply,
+)
+
+
+class StoreJig:
+    """Drives the bookstore generator with scripted page requests."""
+
+    def __init__(self, synchronous=False):
+        self.db = BookstoreDatabase(item_count=50, customer_count=10)
+        self.stats = BookstoreStats()
+        self.gen = bookstore_app(
+            self.db, self.stats, synchronous_pge=synchronous
+        )()
+        self.pending = self.gen.send(None)
+        self.replies = []
+        self.pge_sends = []
+        self._mid = 0
+
+    def _drain(self, value):
+        op = self.gen.send(value)
+        while True:
+            if isinstance(op, WsSendReply):
+                self.replies.append(op.reply.body)
+                op = self.gen.send(None)
+            elif isinstance(op, WsCompute):
+                op = self.gen.send(None)
+            elif isinstance(op, WsSend):
+                self._mid += 1
+                mid = f"urn:store:pge:{self._mid}"
+                self.pge_sends.append((mid, op.context.body))
+                op = self.gen.send(mid)
+            else:
+                break
+        self.pending = op
+
+    def page(self, page, **fields):
+        context = MessageContext(body=dict(fields, page=page))
+        context.kind = "request"
+        context.message_id = f"urn:rbe:{len(self.replies)}"
+        self._drain(context)
+        return self.replies[-1] if self.replies else None
+
+    def pge_reply(self, relates_to, body):
+        context = MessageContext(body=body)
+        context.kind = "reply"
+        context.relates_to = relates_to
+        if isinstance(self.pending, WsSendReceive):
+            self._mid += 1
+            self.pge_sends.append((None, self.pending.context.body))
+            self._drain(context)
+        else:
+            assert isinstance(self.pending, WsReceiveAny)
+            self._drain(context)
+        return self.replies[-1]
+
+
+class TestPages:
+    def test_home(self):
+        jig = StoreJig()
+        reply = jig.page(HOME)
+        assert reply["page"] == HOME
+        assert jig.stats.interactions == 1
+
+    def test_best_sellers_counts(self):
+        jig = StoreJig()
+        subject = jig.db.items[1].subject
+        reply = jig.page(BEST_SELLERS, subject=subject)
+        assert reply["count"] > 0
+
+    def test_product_detail_found(self):
+        jig = StoreJig()
+        reply = jig.page(PRODUCT_DETAIL, item_id=1)
+        assert reply["found"] is True
+        assert reply["price_cents"] == jig.db.items[1].price_cents
+
+    def test_search_results(self):
+        jig = StoreJig()
+        author = jig.db.items[1].author
+        reply = jig.page(SEARCH_RESULTS, author=author)
+        assert reply["count"] >= 1
+
+    def test_cart_flow(self):
+        jig = StoreJig()
+        reply = jig.page(SHOPPING_CART, session=7, item_id=3)
+        assert reply["cart_size"] == 1
+        reply = jig.page(SHOPPING_CART, session=7, item_id=4)
+        assert reply["cart_size"] == 2
+        assert reply["total_cents"] == (
+            jig.db.items[3].price_cents + jig.db.items[4].price_cents
+        )
+
+    def test_buy_request_creates_order(self):
+        jig = StoreJig()
+        jig.page(SHOPPING_CART, session=1, item_id=2)
+        reply = jig.page(BUY_REQUEST, session=1, customer_id=3)
+        assert reply["order_id"] == 1
+        assert reply["total_cents"] == jig.db.items[2].price_cents
+
+    def test_order_display(self):
+        jig = StoreJig()
+        jig.page(SHOPPING_CART, session=1, item_id=2)
+        jig.page(BUY_REQUEST, session=1, customer_id=3)
+        reply = jig.page(ORDER_DISPLAY, customer_id=3)
+        assert reply["order_id"] == 1
+        assert reply["status"] == "pending"
+
+
+class TestBuyConfirm:
+    def test_async_store_keeps_serving_during_payment(self):
+        jig = StoreJig()
+        jig.page(SHOPPING_CART, session=1, item_id=2)
+        jig.page(BUY_REQUEST, session=1, customer_id=3)
+        jig.page(BUY_CONFIRM, session=1, customer_id=3)
+        mid, body = jig.pge_sends[-1]
+        assert body["amount_cents"] == jig.db.items[2].price_cents
+        # Another page is served while the PGE call is outstanding.
+        reply = jig.page(HOME)
+        assert reply["page"] == HOME
+        # Then the authorisation lands and the order confirms.
+        reply = jig.pge_reply(mid, {"approved": True, "auth_code": "A1"})
+        assert reply["approved"] is True
+        assert jig.db.orders[1].status == "confirmed"
+        assert jig.stats.approved == 1
+
+    def test_declined_payment_declines_order(self):
+        jig = StoreJig()
+        jig.page(SHOPPING_CART, session=1, item_id=2)
+        jig.page(BUY_REQUEST, session=1, customer_id=3)
+        jig.page(BUY_CONFIRM, session=1, customer_id=3)
+        mid, _ = jig.pge_sends[-1]
+        reply = jig.pge_reply(mid, {"approved": False})
+        assert reply["approved"] is False
+        assert jig.db.orders[1].status == "declined"
+        assert jig.stats.declined == 1
+
+    def test_confirmed_order_reduces_stock(self):
+        jig = StoreJig()
+        stock_before = jig.db.items[2].stock
+        jig.page(SHOPPING_CART, session=1, item_id=2)
+        jig.page(BUY_REQUEST, session=1, customer_id=3)
+        jig.page(BUY_CONFIRM, session=1, customer_id=3)
+        mid, _ = jig.pge_sends[-1]
+        jig.pge_reply(mid, {"approved": True, "auth_code": "A"})
+        assert jig.db.items[2].stock == stock_before - 1
+
+
+class TestRbe:
+    def test_rbe_emits_pages_and_thinks(self):
+        from repro.perpetual.executor import Sleep
+        from repro.tpcw.rbe import rbe_app
+        from repro.ws.api import WsSendReceive
+
+        app = rbe_app(rbe_index=0, seed=3, think_time_mean_us=1000)()
+        op = app.send(None)
+        pages = []
+        sleeps = 0
+        for _ in range(60):
+            if isinstance(op, WsSendReceive):
+                pages.append(op.context.body["page"])
+                reply = MessageContext(body={"ok": True})
+                reply.kind = "reply"
+                op = app.send(reply)
+            elif isinstance(op, Sleep):
+                sleeps += 1
+                op = app.send(None)
+            else:
+                raise AssertionError(f"unexpected op {op!r}")
+        assert sleeps > 5
+        assert len(set(pages)) > 3  # a real mix of pages
+
+    def test_rbe_deterministic_given_seed(self):
+        from repro.perpetual.executor import Sleep
+        from repro.tpcw.rbe import rbe_app
+        from repro.ws.api import WsSendReceive
+
+        def trace(seed):
+            app = rbe_app(rbe_index=1, seed=seed, think_time_mean_us=1000)()
+            op = app.send(None)
+            out = []
+            for _ in range(40):
+                if isinstance(op, WsSendReceive):
+                    out.append(("page", op.context.body["page"]))
+                    reply = MessageContext(body={})
+                    reply.kind = "reply"
+                    op = app.send(reply)
+                else:
+                    out.append(("sleep", op.duration_us))
+                    op = app.send(None)
+            return out
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)

@@ -1,0 +1,47 @@
+"""Unit tests for TPC-W interactions, mixes, and the paper's 5-10% band."""
+
+from repro.tpcw.interactions import (
+    ALL_INTERACTIONS,
+    BUY_CONFIRM,
+    CPU_COST_US,
+    Mix,
+    ORDERING_MIX,
+    PAPER_MIX,
+    SHOPPING_MIX,
+)
+
+
+class TestInteractionSet:
+    def test_twelve_pages(self):
+        # "an online bookstore with twelve distinct web pages"
+        assert len(ALL_INTERACTIONS) == 12
+
+    def test_every_page_has_a_cost(self):
+        for page in ALL_INTERACTIONS:
+            assert CPU_COST_US[page] > 0
+
+
+class TestMixes:
+    def test_weights_cover_all_pages(self):
+        for mix in (SHOPPING_MIX, PAPER_MIX, ORDERING_MIX):
+            assert set(mix.pages()) == set(ALL_INTERACTIONS)
+
+    def test_probabilities_roughly_normalised(self):
+        for mix in (SHOPPING_MIX, PAPER_MIX, ORDERING_MIX):
+            assert abs(sum(mix.probabilities()) - 100.0) < 1.0
+
+    def test_paper_mix_payment_fraction_in_band(self):
+        # "Around 5-10% of the total traffic ... results in requests being
+        # issued to an external Payment Gateway Emulator."
+        fraction = PAPER_MIX.fraction_of(BUY_CONFIRM)
+        assert 0.05 <= fraction <= 0.10
+
+    def test_shopping_mix_canonical_buy_confirm(self):
+        assert SHOPPING_MIX.fraction_of(BUY_CONFIRM) < 0.02
+
+    def test_fraction_of_unknown_page(self):
+        assert SHOPPING_MIX.fraction_of("nonexistent") == 0.0
+
+    def test_custom_mix(self):
+        mix = Mix(name="x", weights=(("home", 1.0), ("buy_confirm", 1.0)))
+        assert mix.fraction_of("home") == 0.5

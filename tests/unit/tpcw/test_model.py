@@ -1,0 +1,101 @@
+"""Unit tests for the TPC-W bookstore database model."""
+
+from repro.tpcw.model import BookstoreDatabase
+
+
+class TestGeneration:
+    def test_deterministic_content(self):
+        a = BookstoreDatabase(item_count=50, seed=3)
+        b = BookstoreDatabase(item_count=50, seed=3)
+        assert [i.price_cents for i in a.items.values()] == [
+            i.price_cents for i in b.items.values()
+        ]
+
+    def test_seed_changes_content(self):
+        a = BookstoreDatabase(item_count=50, seed=3)
+        b = BookstoreDatabase(item_count=50, seed=4)
+        assert [i.price_cents for i in a.items.values()] != [
+            i.price_cents for i in b.items.values()
+        ]
+
+    def test_counts(self):
+        db = BookstoreDatabase(item_count=100, customer_count=20)
+        assert len(db.items) == 100
+        assert len(db.customers) == 20
+
+
+class TestQueries:
+    def test_best_sellers_sorted_by_stock(self):
+        db = BookstoreDatabase(item_count=200)
+        subject = db.items[1].subject
+        sellers = db.best_sellers(subject)
+        stocks = [i.stock for i in sellers]
+        assert stocks == sorted(stocks, reverse=True)
+        assert all(i.subject == subject for i in sellers)
+
+    def test_new_products_reverse_id(self):
+        db = BookstoreDatabase(item_count=200)
+        subject = db.items[1].subject
+        items = db.new_products(subject)
+        ids = [i.item_id for i in items]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_search_by_author(self):
+        db = BookstoreDatabase(item_count=100)
+        author = db.items[1].author
+        results = db.search_by_author(author)
+        assert results
+        assert all(i.author == author for i in results)
+
+    def test_search_by_title(self):
+        db = BookstoreDatabase(item_count=100)
+        assert db.search_by_title("Book 00001")
+
+
+class TestCartAndOrders:
+    def test_cart_accumulates(self):
+        db = BookstoreDatabase(item_count=10)
+        db.add_to_cart(1, 2)
+        db.add_to_cart(1, 3)
+        cart = db.cart(1)
+        assert cart.item_ids == [2, 3]
+        assert cart.total_cents(db) == (
+            db.items[2].price_cents + db.items[3].price_cents
+        )
+
+    def test_unknown_item_not_added(self):
+        db = BookstoreDatabase(item_count=10)
+        db.add_to_cart(1, 9999)
+        assert db.cart(1).item_ids == []
+
+    def test_order_lifecycle(self):
+        db = BookstoreDatabase(item_count=10)
+        db.add_to_cart(1, 2)
+        order = db.create_order(customer_id=1, session_id=1)
+        assert order is not None
+        assert order.status == "pending"
+        assert db.cart(1).item_ids == []  # cart cleared
+        stock_before = db.items[2].stock
+        db.confirm_order(order.order_id, "AUTH")
+        assert db.orders[order.order_id].status == "confirmed"
+        assert db.items[2].stock == stock_before - 1
+
+    def test_decline_order(self):
+        db = BookstoreDatabase(item_count=10)
+        db.add_to_cart(1, 2)
+        order = db.create_order(1, 1)
+        db.decline_order(order.order_id)
+        assert db.orders[order.order_id].status == "declined"
+
+    def test_empty_cart_gives_no_order(self):
+        db = BookstoreDatabase(item_count=10)
+        assert db.create_order(1, 99) is None
+
+    def test_last_order_of(self):
+        db = BookstoreDatabase(item_count=10)
+        db.add_to_cart(1, 2)
+        first = db.create_order(1, 1)
+        db.add_to_cart(1, 3)
+        second = db.create_order(1, 1)
+        assert db.last_order_of(1).order_id == second.order_id
+        assert db.last_order_of(42) is None

@@ -1,0 +1,116 @@
+"""Unit tests for the ChannelAdapter."""
+
+from repro.crypto.cost import MAC_COST_MODEL, SIGNATURE_COST_MODEL
+from repro.crypto.keys import KeyStore
+from repro.transport.channel import ChannelAdapter
+from repro.transport.connection import Connection
+from repro.transport.wire import WireEnvelope
+
+
+class CapturingConnection(Connection):
+    def __init__(self):
+        self.transmitted = []
+
+    def transmit(self, dst, envelope):
+        self.transmitted.append((str(dst), envelope))
+
+
+def make_pair(keys, a="alice", b="bob", **kwargs):
+    conn_a, conn_b = CapturingConnection(), CapturingConnection()
+    chan_a = ChannelAdapter(a, keys, conn_a, **kwargs)
+    chan_b = ChannelAdapter(b, keys, conn_b, **kwargs)
+    return (chan_a, conn_a), (chan_b, conn_b)
+
+
+class TestSendAccept:
+    def test_roundtrip(self, keys):
+        (a, conn_a), (b, _) = make_pair(keys)
+        a.send("bob", {"op": "ping", "n": 1})
+        dst, envelope = conn_a.transmitted[0]
+        assert dst == "bob"
+        assert b.accept(envelope) == {"op": "ping", "n": 1}
+
+    def test_sender_identified(self, keys):
+        (a, conn_a), (b, _) = make_pair(keys)
+        a.send("bob", "x")
+        _, envelope = conn_a.transmitted[0]
+        assert b.sender_of(envelope) == "alice"
+
+    def test_wrong_recipient_rejected(self, keys):
+        (a, conn_a), _ = make_pair(keys)
+        eve = ChannelAdapter("eve", keys, CapturingConnection())
+        a.send("bob", "secret")
+        _, envelope = conn_a.transmitted[0]
+        assert eve.accept(envelope) is None
+        assert eve.rejected_count == 1
+
+    def test_tampered_payload_rejected(self, keys):
+        (a, conn_a), (b, _) = make_pair(keys)
+        a.send("bob", "x")
+        _, envelope = conn_a.transmitted[0]
+        forged = WireEnvelope(payload=b'"evil"', auth=envelope.auth)
+        assert b.accept(forged) is None
+
+    def test_forged_key_rejected(self, keys):
+        attacker_keys = KeyStore.for_deployment("other")
+        eve = ChannelAdapter("alice", attacker_keys, CapturingConnection())
+        conn = CapturingConnection()
+        eve2 = ChannelAdapter("alice", attacker_keys, conn)
+        eve2.send("bob", "fake")
+        _, envelope = conn.transmitted[0]
+        bob = ChannelAdapter("bob", keys, CapturingConnection())
+        assert bob.accept(envelope) is None
+
+
+class TestMulticast:
+    def test_one_envelope_many_destinations(self, keys):
+        conn = CapturingConnection()
+        a = ChannelAdapter("alice", keys, conn)
+        a.multicast(["r0", "r1", "r2"], {"v": 1})
+        assert len(conn.transmitted) == 3
+        envelopes = {id(e) for _, e in conn.transmitted}
+        assert len(envelopes) == 1  # signed once
+
+    def test_every_destination_verifies(self, keys):
+        conn = CapturingConnection()
+        a = ChannelAdapter("alice", keys, conn)
+        a.multicast(["r0", "r1"], "m")
+        for name in ("r0", "r1"):
+            receiver = ChannelAdapter(name, keys, CapturingConnection())
+            _, envelope = conn.transmitted[0]
+            assert receiver.accept(envelope) == "m"
+
+    def test_empty_multicast_noop(self, keys):
+        conn = CapturingConnection()
+        a = ChannelAdapter("alice", keys, conn)
+        a.multicast([], "m")
+        assert conn.transmitted == []
+
+
+class TestCostCharging:
+    def test_mac_send_cost_charged(self, keys):
+        charged = []
+        conn = CapturingConnection()
+        a = ChannelAdapter("alice", keys, conn, charge=charged.append)
+        a.send("bob", "x")
+        assert sum(charged) > 0
+
+    def test_signature_model_costs_more(self, keys):
+        mac_charged, sig_charged = [], []
+        ChannelAdapter(
+            "a", keys, CapturingConnection(), charge=mac_charged.append,
+            cost_model=MAC_COST_MODEL,
+        ).send("b", "x")
+        ChannelAdapter(
+            "a", keys, CapturingConnection(), charge=sig_charged.append,
+            cost_model=SIGNATURE_COST_MODEL,
+        ).send("b", "x")
+        assert sum(sig_charged) > sum(mac_charged)
+
+    def test_counters(self, keys):
+        (a, conn_a), (b, _) = make_pair(keys)
+        a.send("bob", "x")
+        assert a.sent_count == 1
+        _, envelope = conn_a.transmitted[0]
+        b.accept(envelope)
+        assert b.received_count == 1

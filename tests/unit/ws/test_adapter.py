@@ -1,0 +1,281 @@
+"""Unit tests for the WS adapter (MessageHandler implementation).
+
+The adapter is tested by driving its executor-level generator directly —
+no simulator — asserting the exact effects it emits for each WS-level
+operation and the WS-Addressing bookkeeping of paper section 5.1.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import ExecutorViolation
+from repro.common.ids import RequestId, ServiceId
+from repro.perpetual.executor import (
+    Compute,
+    ExecutorRuntime,
+    ReplyEvent,
+    RequestEvent,
+)
+from repro.soap.addressing import WsAddressing
+from repro.soap.envelope import SoapEnvelope
+from repro.ws.adapter import WsAdapter
+from repro.ws.api import MessageContext, MessageHandler, Options
+
+
+def make_runtime(adapter: WsAdapter) -> ExecutorRuntime:
+    counter = itertools.count(1)
+    return ExecutorRuntime(
+        app_factory=adapter.executor_app(),
+        allocate_request_id=lambda: RequestId(
+            ServiceId(adapter.service), next(counter)
+        ),
+    )
+
+
+def soap_request(body, message_id="urn:caller:msg:1", reply_to="caller"):
+    envelope = SoapEnvelope(body=body)
+    WsAddressing.set_message_id(envelope, message_id)
+    WsAddressing.set_reply_to(envelope, reply_to)
+    return envelope.to_xml()
+
+
+def request_event(seqno=1, payload=None, caller="caller"):
+    return RequestEvent(
+        request_id=RequestId(ServiceId(caller), seqno),
+        caller=caller,
+        payload=payload if payload is not None else soap_request({"n": seqno}),
+    )
+
+
+class TestSendPath:
+    def test_send_emits_authenticated_soap_payload(self):
+        def app():
+            yield MessageHandler.send(MessageContext(to="pge", body={"x": 1}))
+
+        adapter = WsAdapter("store", app)
+        runtime = make_runtime(adapter)
+        runtime.step()
+        outbox = runtime.take_outbox()
+        assert len(outbox.sends) == 1
+        _, send = outbox.sends[0]
+        assert send.target == "pge"
+        envelope = SoapEnvelope.from_xml(send.payload)
+        assert envelope.body == {"x": 1}
+        assert WsAddressing.message_id(envelope) == "urn:store:msg:1"
+        assert WsAddressing.reply_to(envelope) == "store"
+
+    def test_send_resumes_with_message_id(self):
+        got = []
+
+        def app():
+            got.append((yield MessageHandler.send(
+                MessageContext(to="pge", body=None))))
+
+        runtime = make_runtime(WsAdapter("store", app))
+        runtime.step()
+        assert got == ["urn:store:msg:1"]
+
+    def test_send_without_to_rejected(self):
+        def app():
+            yield MessageHandler.send(MessageContext(body={"x": 1}))
+
+        runtime = make_runtime(WsAdapter("store", app))
+        with pytest.raises(ExecutorViolation):
+            runtime.step()
+
+    def test_timeout_propagates_to_send_effect(self):
+        def app():
+            yield MessageHandler.send(
+                MessageContext(to="pge", body=None,
+                               options=Options(timeout_ms=250))
+            )
+
+        runtime = make_runtime(WsAdapter("store", app))
+        runtime.step()
+        _, send = runtime.take_outbox().sends[0]
+        assert send.timeout_ms == 250
+
+    def test_marshal_cpu_charged(self):
+        def app():
+            yield MessageHandler.send(MessageContext(to="pge", body=None))
+
+        runtime = make_runtime(WsAdapter("store", app))
+        runtime.step()
+        assert runtime.take_outbox().compute_us > 0
+
+    def test_endpoint_resolution(self):
+        def app():
+            yield MessageHandler.send(
+                MessageContext(to="perpetual://pge", body=None)
+            )
+
+        adapter = WsAdapter(
+            "store", app,
+            resolve=lambda e: e.removeprefix("perpetual://").split("/")[0],
+        )
+        runtime = make_runtime(adapter)
+        runtime.step()
+        assert runtime.take_outbox().sends[0][1].target == "pge"
+
+
+class TestServePath:
+    def test_receive_request_and_reply_correlation(self):
+        def app():
+            request = yield MessageHandler.receive_request()
+            reply = MessageContext(body={"echo": request.body})
+            yield MessageHandler.send_reply(reply, request)
+
+        adapter = WsAdapter("pge", app)
+        runtime = make_runtime(adapter)
+        runtime.step()
+        runtime.deliver_request(request_event(payload=soap_request({"q": 1})))
+        runtime.step()
+        replies = runtime.take_outbox().replies
+        assert len(replies) == 1
+        envelope = SoapEnvelope.from_xml(replies[0].payload)
+        # Section 5.1: reply wsa:To = request wsa:ReplyTo;
+        # wsa:RelatesTo = request wsa:MessageID.
+        assert WsAddressing.to(envelope) == "caller"
+        assert WsAddressing.relates_to(envelope) == "urn:caller:msg:1"
+        assert envelope.body == {"echo": {"q": 1}}
+        assert adapter.requests_served == 1
+
+    def test_request_context_kind_and_caller(self):
+        got = []
+
+        def app():
+            got.append((yield MessageHandler.receive_request()))
+
+        runtime = make_runtime(WsAdapter("pge", app))
+        runtime.step()
+        runtime.deliver_request(request_event(caller="store"))
+        runtime.step()
+        assert got[0].kind == "request"
+        assert got[0].caller == "store"
+
+    def test_reply_to_unknown_request_rejected(self):
+        def app():
+            ghost = MessageContext(body=None)
+            ghost.message_id = "urn:ghost"
+            yield MessageHandler.send_reply(MessageContext(body=None), ghost)
+
+        runtime = make_runtime(WsAdapter("pge", app))
+        with pytest.raises(ExecutorViolation):
+            runtime.step()
+
+    def test_double_reply_rejected(self):
+        def app():
+            request = yield MessageHandler.receive_request()
+            yield MessageHandler.send_reply(MessageContext(body=1), request)
+            yield MessageHandler.send_reply(MessageContext(body=2), request)
+
+        runtime = make_runtime(WsAdapter("pge", app))
+        runtime.step()
+        runtime.deliver_request(request_event())
+        with pytest.raises(ExecutorViolation):
+            runtime.step()
+
+
+class TestReplyPath:
+    def test_reply_context_correlated(self):
+        got = []
+
+        def app():
+            context = MessageContext(to="pge", body={"x": 1})
+            reply = yield MessageHandler.send_receive(context)
+            got.append(reply)
+
+        adapter = WsAdapter("store", app)
+        runtime = make_runtime(adapter)
+        runtime.step()
+        rid = runtime.take_outbox().sends[0][0]
+        reply_envelope = SoapEnvelope(body={"approved": True})
+        WsAddressing.set_message_id(reply_envelope, "urn:pge:msg:1")
+        WsAddressing.set_relates_to(reply_envelope, "urn:store:msg:1")
+        runtime.deliver_reply(ReplyEvent(rid, reply_envelope.to_xml()))
+        runtime.step()
+        assert got[0].kind == "reply"
+        assert got[0].body == {"approved": True}
+        assert got[0].relates_to == "urn:store:msg:1"
+        assert not got[0].is_fault
+
+    def test_aborted_reply_becomes_soap_fault(self):
+        got = []
+
+        def app():
+            reply = yield MessageHandler.send_receive(
+                MessageContext(to="pge", body=None,
+                               options=Options(timeout_ms=10))
+            )
+            got.append(reply)
+
+        runtime = make_runtime(WsAdapter("store", app))
+        runtime.step()
+        rid = runtime.take_outbox().sends[0][0]
+        runtime.deliver_reply(ReplyEvent(rid, None, aborted=True))
+        runtime.step()
+        assert got[0].is_fault
+        assert got[0].relates_to == "urn:store:msg:1"
+
+    def test_receive_reply_for_unknown_request_rejected(self):
+        def app():
+            phantom = MessageContext(body=None)
+            phantom.message_id = "urn:never-sent"
+            yield MessageHandler.receive_reply(phantom)
+
+        runtime = make_runtime(WsAdapter("store", app))
+        with pytest.raises(ExecutorViolation):
+            runtime.step()
+
+
+class TestComputeAndUnknownOps:
+    def test_compute_passthrough(self):
+        def app():
+            yield MessageHandler.compute(5_000)
+
+        runtime = make_runtime(WsAdapter("s", app))
+        runtime.step()
+        assert runtime.take_outbox().compute_us >= 5_000
+
+    def test_unknown_operation_rejected(self):
+        def app():
+            yield 42
+
+        runtime = make_runtime(WsAdapter("s", app))
+        with pytest.raises(ExecutorViolation):
+            runtime.step()
+
+    def test_app_exceptions_rethrown_into_app(self):
+        recovered = []
+
+        def app():
+            try:
+                request = yield MessageHandler.receive_request()
+                raise ValueError("app bug")
+            except ValueError:
+                recovered.append(True)
+
+        runtime = make_runtime(WsAdapter("s", app))
+        runtime.step()
+        runtime.deliver_request(request_event())
+        runtime.step()
+        assert runtime.finished
+
+
+class TestMessageIdDeterminism:
+    def test_two_adapters_allocate_identical_ids(self):
+        # Replica determinism: same app + same event sequence -> same ids.
+        def app():
+            yield MessageHandler.send(MessageContext(to="t", body=None))
+            yield MessageHandler.send(MessageContext(to="t", body=None))
+
+        ids = []
+        for _ in range(2):
+            adapter = WsAdapter("store", app)
+            runtime = make_runtime(adapter)
+            runtime.step()
+            sends = runtime.take_outbox().sends
+            envelopes = [SoapEnvelope.from_xml(s.payload) for _, s in sends]
+            ids.append([WsAddressing.message_id(e) for e in envelopes])
+        assert ids[0] == ids[1]

@@ -1,0 +1,99 @@
+"""Unit tests for the public API surface (paper Figure 3 fidelity)."""
+
+import pytest
+
+from repro.perpetual.executor import CurrentTime, Random, Timestamp
+from repro.soap.addressing import WsAddressing
+from repro.ws.api import (
+    MessageContext,
+    MessageHandler,
+    Options,
+    Utils,
+    WsReceiveAny,
+    WsReceiveReply,
+    WsReceiveRequest,
+    WsSend,
+    WsSendReceive,
+    WsSendReply,
+)
+
+
+class TestOptions:
+    def test_default_no_timeout(self):
+        # Paper: "The default behavior ... is not to abort any
+        # outstanding requests."
+        assert Options().timeout_ms is None
+
+    def test_paper_alias(self):
+        options = Options()
+        options.set_timeout_in_milliseconds(750)
+        assert options.timeout_ms == 750
+
+
+class TestMessageContext:
+    def test_constructor_sets_addressing(self):
+        context = MessageContext(to="pge", body={"x": 1}, action="authorize")
+        assert WsAddressing.to(context.envelope) == "pge"
+        assert WsAddressing.action(context.envelope) == "authorize"
+        assert context.body == {"x": 1}
+
+    def test_body_mutable(self):
+        context = MessageContext()
+        context.body = [1, 2]
+        assert context.envelope.body == [1, 2]
+
+    def test_allocator_unbound_raises(self):
+        with pytest.raises(RuntimeError):
+            MessageContext().allocate_message_id()
+
+    def test_repr_mentions_correlation(self):
+        context = MessageContext(to="pge")
+        assert "pge" in repr(context)
+
+
+class TestMessageHandlerOperations:
+    """The six operations of Figure 3, plus the receive_any extension."""
+
+    def test_send(self):
+        context = MessageContext(to="t")
+        op = MessageHandler.send(context)
+        assert isinstance(op, WsSend) and op.context is context
+
+    def test_receive_reply_any(self):
+        assert MessageHandler.receive_reply() == WsReceiveReply(None)
+
+    def test_receive_reply_specific(self):
+        context = MessageContext(to="t")
+        assert MessageHandler.receive_reply(context).request is context
+
+    def test_send_receive(self):
+        context = MessageContext(to="t")
+        assert isinstance(MessageHandler.send_receive(context), WsSendReceive)
+
+    def test_receive_request(self):
+        assert isinstance(MessageHandler.receive_request(), WsReceiveRequest)
+
+    def test_send_reply(self):
+        reply, request = MessageContext(), MessageContext()
+        op = MessageHandler.send_reply(reply, request)
+        assert isinstance(op, WsSendReply)
+        assert op.reply is reply and op.request is request
+
+    def test_receive_any(self):
+        assert isinstance(MessageHandler.receive_any(), WsReceiveAny)
+
+    def test_compute(self):
+        assert MessageHandler.compute(500).cpu_us == 500
+
+
+class TestUtils:
+    """The three deterministic utility functions of Figure 3."""
+
+    def test_current_time(self):
+        assert isinstance(Utils.current_time_millis(), CurrentTime)
+
+    def test_timestamp(self):
+        assert isinstance(Utils.timestamp(), Timestamp)
+
+    def test_random(self):
+        assert isinstance(Utils.random(), Random)
