@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Run the fig8 processing-time benchmark and gate on regressions.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/compare.py                 # run + compare
+    PYTHONPATH=src python benchmarks/compare.py --update-baseline
+
+The script runs the representative Figure-8 benchmark cell under
+``pytest-benchmark`` (with ``--benchmark-autosave``, so the full history
+accumulates under ``.benchmarks/``), writes the trajectory point to
+``BENCH_PR1.json`` at the repo root, and exits non-zero if the median
+processing time regressed more than :data:`TOLERANCE` versus the stored
+baseline in ``benchmarks/baseline_fig8.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_fig8.json"
+#: Default tag for the trajectory point; later PRs pass --tag PR<n> so the
+#: BENCH_PR*.json series accumulates instead of overwriting.
+DEFAULT_TAG = "PR1"
+BENCH_TEST = (
+    "benchmarks/test_fig8_processing_time.py::"
+    "test_fig8_benchmark_representative_cell"
+)
+#: Maximum tolerated median regression vs the stored baseline.
+TOLERANCE = 0.10
+
+
+def run_benchmark() -> dict:
+    """Run the fig8 representative cell; return its pytest-benchmark stats."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = Path(handle.name)
+    try:
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", BENCH_TEST, "-q",
+                "--benchmark-autosave",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout[-4000:])
+            sys.stderr.write(result.stderr[-4000:])
+            raise SystemExit(f"benchmark run failed ({result.returncode})")
+        data = json.loads(json_path.read_text())
+    finally:
+        json_path.unlink(missing_ok=True)
+    benchmarks = data.get("benchmarks", [])
+    if not benchmarks:
+        raise SystemExit("benchmark run produced no samples")
+    stats = benchmarks[0]["stats"]
+    machine = data.get("machine_info", {})
+    return {
+        "test": BENCH_TEST,
+        "mean_s": stats["mean"],
+        "median_s": stats["median"],
+        "min_s": stats["min"],
+        "max_s": stats["max"],
+        "rounds": stats["rounds"],
+        "machine": {
+            "cpu": machine.get("cpu", {}).get("brand_raw", ""),
+            "python": machine.get("python_version", ""),
+            "node": machine.get("node", ""),
+        },
+        "datetime": data.get("datetime"),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="store this run's stats as the new regression baseline",
+    )
+    parser.add_argument(
+        "--tag",
+        default=DEFAULT_TAG,
+        help="trajectory label; the point is written to BENCH_<TAG>.json",
+    )
+    args = parser.parse_args()
+
+    point = run_benchmark()
+    point["tag"] = args.tag
+    output_path = REPO_ROOT / f"BENCH_{args.tag}.json"
+    output_path.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+    print(f"fig8 representative cell: median {point['median_s'] * 1000:.1f} ms "
+          f"mean {point['mean_s'] * 1000:.1f} ms -> {output_path.name}")
+
+    if args.update_baseline or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(
+            json.dumps(point, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH.relative_to(REPO_ROOT)}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    allowed = baseline["median_s"] * (1.0 + TOLERANCE)
+    ratio = point["median_s"] / baseline["median_s"]
+    print(f"baseline median {baseline['median_s'] * 1000:.1f} ms; "
+          f"this run is {ratio:.2f}x the baseline "
+          f"(fail threshold {1.0 + TOLERANCE:.2f}x)")
+    if point["median_s"] > allowed:
+        print("REGRESSION: median processing time exceeds tolerance",
+              file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,8 @@ from repro.clbft.config import GroupConfig
 from repro.clbft.messages import (
     ClientRequest,
     Reply,
-    message_from_wire,
-    message_to_wire,
+    decode_message,
+    encode_message,
 )
 from repro.clbft.replica import ClbftReplica
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
@@ -68,6 +68,8 @@ class ClbftReplicaNode(ProtocolNode):
             connection=SimConnection(env),
             charge=env.charge,
             cost_model=self._cost_model,
+            encode=encode_message,
+            decode=decode_message,
         )
         self.replica = ClbftReplica(
             config=self.config,
@@ -95,27 +97,26 @@ class ClbftReplicaNode(ProtocolNode):
         ]
 
     def _multicast(self, msg: Any) -> None:
-        self._channel.multicast(self._peers(), message_to_wire(msg))
+        self._channel.multicast(self._peers(), msg)
 
     def _send_to(self, index: int, msg: Any) -> None:
         if index == self.index:
             self.replica.on_message(index, msg)
             return
-        self._channel.send(replica_name(self.group, index), message_to_wire(msg))
+        self._channel.send(replica_name(self.group, index), msg)
 
     def _send_reply(self, client: str, reply: Reply) -> None:
-        self._channel.send(client, message_to_wire(reply))
+        self._channel.send(client, reply)
 
     # -- kernel callbacks ---------------------------------------------------
 
     def on_message(self, src: Any, msg: Any) -> None:
         if not isinstance(msg, WireEnvelope):
             return
-        decoded = self._channel.accept(msg)
-        if decoded is None:
+        protocol_msg = self._channel.accept(msg)
+        if protocol_msg is None:
             return
         sender = self._channel.sender_of(msg)
-        protocol_msg = message_from_wire(decoded)
         if isinstance(protocol_msg, ClientRequest):
             self.replica.submit(protocol_msg)
             return
@@ -159,6 +160,8 @@ class ClbftClientNode(ProtocolNode):
             connection=SimConnection(env),
             charge=env.charge,
             cost_model=self._cost_model,
+            encode=encode_message,
+            decode=decode_message,
         )
         self.client = ClbftClient(
             name=self.name,
@@ -170,7 +173,7 @@ class ClbftClientNode(ProtocolNode):
         )
 
     def _send_to(self, index: int, msg: Any) -> None:
-        self._channel.send(replica_name(self.group, index), message_to_wire(msg))
+        self._channel.send(replica_name(self.group, index), msg)
 
     def _on_result(self, timestamp: int, result: Any) -> None:
         self.results[timestamp] = result
@@ -182,10 +185,9 @@ class ClbftClientNode(ProtocolNode):
     def on_message(self, src: Any, msg: Any) -> None:
         if not isinstance(msg, WireEnvelope):
             return
-        decoded = self._channel.accept(msg)
-        if decoded is None:
+        protocol_msg = self._channel.accept(msg)
+        if protocol_msg is None:
             return
-        protocol_msg = message_from_wire(decoded)
         if isinstance(protocol_msg, Reply):
             src_index = _index_of(self._channel.sender_of(msg))
             if src_index is not None:

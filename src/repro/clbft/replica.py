@@ -36,17 +36,26 @@ from repro.clbft.messages import (
     PreparedProof,
     Reply,
     ViewChange,
-    message_to_wire,
+    encode_message,
 )
+from repro.common.encoding import IdentityMemo
 from repro.crypto.digest import digest
 
 VIEW_CHANGE_TIMER = "clbft-view-change"
 NULL_DIGEST = digest(("null",))
 
+# Backups sharing one decoded pre-prepare share its requests tuple, so
+# the batch digest is computed once per batch, not once per backup.
+_BATCH_DIGESTS = IdentityMemo()
+
 
 def batch_digest(requests: tuple) -> bytes:
-    """Digest of a request batch (the value agreement is run on)."""
-    return digest(message_to_wire(requests))
+    """Digest of a request batch (the value agreement is run on).
+
+    Taken over the fused wire encoding in one walk; every replica uses
+    this same function, so only internal consistency matters.
+    """
+    return _BATCH_DIGESTS.get(requests, lambda r: digest(encode_message(r)))
 
 
 def request_key(request: ClientRequest) -> tuple[str, int]:

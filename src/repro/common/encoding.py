@@ -9,16 +9,32 @@ typed identifiers from :mod:`repro.common.ids`).
 This plays the role of the paper's wire marshaling: the Perpetual prototype
 serialises Java objects, Axis2 serialises XML; here one canonical codec
 serves both layers so that digests computed by different replicas agree.
+
+The encoder is the hottest function in the simulator (every protocol
+message crosses it at least once), so it is built for speed:
+
+- :func:`_to_jsonable` walks containers iteratively with an explicit
+  stack — no per-level call overhead — and dispatches on exact type
+  through lookup tables instead of ``isinstance`` chains (note that
+  ``json.dumps`` still bounds total nesting at the interpreter limit);
+- :class:`WireBlob` carries ``(bytes, digest)`` for a message that was
+  encoded exactly once, so multicast/sign/digest consumers share one
+  encoding pass; :func:`wire_blob` memoizes blobs by object identity so
+  re-sends (retransmissions, relays, stored replies) skip the encoder
+  entirely.
 """
 
 from __future__ import annotations
 
 import base64
-import json
-from typing import Any
+import hashlib
+from collections import OrderedDict
+from json import dumps as _json_dumps, loads as _json_loads
+from typing import Any, Callable
 
 from repro.common.errors import ProtocolError
 from repro.common.ids import MessageId, NodeId, ReplicaId, RequestId, ServiceId
+from repro.common.metrics import METRICS
 
 _TAG = "__repro__"
 
@@ -27,27 +43,44 @@ def _tagged(kind: str, value: Any) -> dict[str, Any]:
     return {_TAG: kind, "v": value}
 
 
-def _to_jsonable(obj: Any) -> Any:
-    """Recursively convert ``obj`` into canonical-JSON-safe structures."""
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
+# Types that are already canonical-JSON-safe, by exact type. ``bool`` is
+# listed separately from ``int`` because dispatch is on ``type(obj)``.
+_SCALAR_TYPES = frozenset((type(None), bool, int, str))
+
+# Non-container leaves, by exact type. Each encoder returns the tagged
+# wire form in one call.
+_LEAF_ENCODERS: dict[type, Callable[[Any], dict[str, Any]]] = {
+    bytes: lambda o: _tagged("bytes", base64.b64encode(o).decode("ascii")),
+    ServiceId: lambda o: _tagged("service", o.name),
+    ReplicaId: lambda o: _tagged("replica", [o.service.name, o.index]),
+    NodeId: lambda o: _tagged(
+        "node", [o.replica.service.name, o.replica.index, o.role]
+    ),
+    RequestId: lambda o: _tagged("request", [o.origin.name, o.seqno]),
+    MessageId: lambda o: _tagged("msgid", o.value),
+}
+
+
+def _to_jsonable_slow(obj: Any) -> Any:
+    """Recursive fallback for subclassed scalar/container types.
+
+    The fast path dispatches on exact type; values whose type is a
+    *subclass* of a supported type (an IntEnum, a NamedTuple, ...) land
+    here and keep the seed encoder's isinstance semantics.
+    """
+    # Normalise scalar subclasses to the base value so json sees plain
+    # types; bool before int (it subclasses int), float always rejected.
+    if isinstance(obj, bool):
+        return bool(obj)
     if isinstance(obj, float):
-        # Floats are forbidden in replica-visible payloads: IEEE formatting
-        # and arithmetic reassociation are a determinism hazard. Applications
-        # use integers (e.g. cents, milliseconds) instead.
         raise ProtocolError(f"floats are not canonically encodable: {obj!r}")
-    if isinstance(obj, bytes):
-        return _tagged("bytes", base64.b64encode(obj).decode("ascii"))
-    if isinstance(obj, ServiceId):
-        return _tagged("service", obj.name)
-    if isinstance(obj, ReplicaId):
-        return _tagged("replica", [obj.service.name, obj.index])
-    if isinstance(obj, NodeId):
-        return _tagged("node", [obj.service.name, obj.index, obj.role])
-    if isinstance(obj, RequestId):
-        return _tagged("request", [obj.origin.name, obj.seqno])
-    if isinstance(obj, MessageId):
-        return _tagged("msgid", obj.value)
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, str):
+        return str(obj)
+    for leaf_type, encoder in _LEAF_ENCODERS.items():
+        if isinstance(obj, leaf_type):
+            return encoder(obj)
     if isinstance(obj, tuple):
         return _tagged("tuple", [_to_jsonable(v) for v in obj])
     if isinstance(obj, list):
@@ -62,37 +95,99 @@ def _to_jsonable(obj: Any) -> Any:
     raise ProtocolError(f"type {type(obj).__name__} is not canonically encodable")
 
 
+def _to_jsonable(obj: Any) -> Any:
+    """Convert ``obj`` into canonical-JSON-safe structures, iteratively."""
+    kind = type(obj)
+    if kind in _SCALAR_TYPES:
+        return obj
+    leaf = _LEAF_ENCODERS.get(kind)
+    if leaf is not None:
+        return leaf(obj)
+    # Containers: explicit-stack walk. Each work item writes its converted
+    # value into ``dst[key]``; the root is slot 0 of a one-element list.
+    root: list[Any] = [None]
+    stack: list[tuple[Any, Any, Any]] = [(obj, root, 0)]
+    push = stack.append
+    pop = stack.pop
+    leaf_encoders = _LEAF_ENCODERS
+    scalar_types = _SCALAR_TYPES
+    while stack:
+        value, dst, key = pop()
+        kind = type(value)
+        if kind in scalar_types:
+            dst[key] = value
+            continue
+        leaf = leaf_encoders.get(kind)
+        if leaf is not None:
+            dst[key] = leaf(value)
+            continue
+        if kind is dict:
+            out: dict[str, Any] = {}
+            dst[key] = out
+            for k, v in value.items():
+                if type(k) is not str and not isinstance(k, str):
+                    raise ProtocolError(
+                        f"non-string dict key not encodable: {k!r}"
+                    )
+                push((v, out, k))
+        elif kind is list:
+            items: list[Any] = [None] * len(value)
+            dst[key] = items
+            for i, v in enumerate(value):
+                push((v, items, i))
+        elif kind is tuple:
+            items = [None] * len(value)
+            dst[key] = _tagged("tuple", items)
+            for i, v in enumerate(value):
+                push((v, items, i))
+        elif kind is float:
+            raise ProtocolError(
+                f"floats are not canonically encodable: {value!r}"
+            )
+        else:
+            dst[key] = _to_jsonable_slow(value)
+    return root[0]
+
+
 def _from_jsonable(obj: Any) -> Any:
-    if isinstance(obj, list):
+    kind = type(obj)
+    if kind is list:
         return [_from_jsonable(v) for v in obj]
-    if isinstance(obj, dict):
-        kind = obj.get(_TAG)
-        if kind is None:
+    if kind is dict:
+        tag = obj.get(_TAG)
+        if tag is None:
             return {k: _from_jsonable(v) for k, v in obj.items()}
         value = obj["v"]
-        if kind == "bytes":
+        if tag == "bytes":
             return base64.b64decode(value)
-        if kind == "service":
-            return ServiceId(value)
-        if kind == "replica":
-            return ReplicaId(ServiceId(value[0]), value[1])
-        if kind == "node":
-            return NodeId(ReplicaId(ServiceId(value[0]), value[1]), value[2])
-        if kind == "request":
-            return RequestId(ServiceId(value[0]), value[1])
-        if kind == "msgid":
-            return MessageId(value)
-        if kind == "tuple":
+        if tag == "tuple":
             return tuple(_from_jsonable(v) for v in value)
-        raise ProtocolError(f"unknown canonical tag: {kind!r}")
+        if tag == "service":
+            return ServiceId(value)
+        if tag == "replica":
+            return ReplicaId(ServiceId(value[0]), value[1])
+        if tag == "node":
+            return NodeId(ReplicaId(ServiceId(value[0]), value[1]), value[2])
+        if tag == "request":
+            return RequestId(ServiceId(value[0]), value[1])
+        if tag == "msgid":
+            return MessageId(value)
+        raise ProtocolError(f"unknown canonical tag: {tag!r}")
     return obj
 
 
 def canonical_encode(obj: Any) -> bytes:
-    """Encode ``obj`` to canonical bytes (stable across hosts and runs)."""
-    jsonable = _to_jsonable(obj)
-    return json.dumps(
-        jsonable, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    """Encode ``obj`` to canonical bytes (stable across hosts and runs).
+
+    A :class:`WireBlob` passes straight through to its cached bytes.
+    """
+    if type(obj) is WireBlob:
+        METRICS.encode_cache_hits += 1
+        return obj.data
+    METRICS.encode_calls += 1
+    return _json_dumps(
+        _to_jsonable(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True,
     ).encode("ascii")
 
 
@@ -104,6 +199,147 @@ def encode_payload(obj: Any) -> bytes:
 def decode_payload(data: bytes) -> Any:
     """Inverse of :func:`canonical_encode`."""
     try:
-        return _from_jsonable(json.loads(data.decode("ascii")))
-    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        return _from_jsonable(_json_loads(data.decode("ascii")))
+    except (ValueError, KeyError, IndexError, TypeError, RecursionError) as exc:
         raise ProtocolError(f"malformed canonical payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Encode-once blobs
+# ---------------------------------------------------------------------------
+
+
+class WireBlob:
+    """A message canonically encoded exactly once.
+
+    Carries the source object, its canonical bytes, and (lazily) the
+    SHA-256 digest of those bytes, so every consumer of the same logical
+    message — the authenticator, the network size model, digest-keyed
+    agreement state — shares one encoding pass and one digest pass.
+    """
+
+    __slots__ = ("obj", "data", "encoder", "_digest")
+
+    def __init__(
+        self,
+        obj: Any,
+        data: bytes | None = None,
+        encoder: Callable[[Any], bytes] | None = None,
+    ) -> None:
+        self.obj = obj
+        self.data = canonical_encode(obj) if data is None else data
+        #: The codec that produced ``data`` (None = canonical_encode);
+        #: the blob cache refuses to serve a blob to a different codec.
+        self.encoder = encoder
+        self._digest: bytes | None = None
+
+    @property
+    def digest(self) -> bytes:
+        """Memoized SHA-256 digest of the canonical bytes."""
+        d = self._digest
+        if d is None:
+            METRICS.digest_calls += 1
+            d = self._digest = hashlib.sha256(self.data).digest()
+        else:
+            METRICS.digest_cache_hits += 1
+        return d
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"WireBlob({len(self.data)} bytes)"
+
+
+_BLOB_CACHE_LIMIT = 2048
+# Identity-keyed, LRU-evicted. Entries hold a strong reference to the
+# source object, so a live entry's id cannot be recycled out from under
+# it; the ``blob.obj is obj`` check is defence in depth.
+_blob_cache: "OrderedDict[int, WireBlob]" = OrderedDict()
+
+
+def wire_blob(obj: Any, encode: Callable[[Any], bytes] | None = None) -> WireBlob:
+    """The encode-once blob for ``obj``, memoized by object identity.
+
+    Repeated calls with the same (still-referenced) object — a stored
+    reply re-forwarded on retry, a retransmitted request, a relay of a
+    received payload — reuse the cached bytes and digest instead of
+    re-running the encoder. ``encode`` overrides the canonical encoder
+    (the channel passes its injected wire codec); a cached blob is only
+    served back to the codec that produced it, so the same object sent
+    through differently-configured channels never aliases bytes.
+    """
+    if type(obj) is WireBlob:
+        return obj
+    key = id(obj)
+    cache = _blob_cache
+    blob = cache.get(key)
+    if blob is not None and blob.obj is obj and blob.encoder is encode:
+        METRICS.encode_cache_hits += 1
+        cache.move_to_end(key)
+        return blob
+    if encode is None:
+        blob = WireBlob(obj)
+    else:
+        blob = WireBlob(obj, encode(obj), encoder=encode)
+    cache[key] = blob
+    if len(cache) > _BLOB_CACHE_LIMIT:
+        cache.popitem(last=False)
+    return blob
+
+
+# Every IdentityMemo registers here so one call can clear all wire-layer
+# caches (blobs + derived-digest memos) between simulations or tests.
+_MEMO_REGISTRY: list["IdentityMemo"] = []
+
+
+def clear_blob_cache() -> None:
+    """Drop all memoized blobs (test isolation hook)."""
+    _blob_cache.clear()
+
+
+def clear_wire_caches() -> None:
+    """Drop the blob cache and every registered identity memo.
+
+    Finished simulations otherwise pin up to one cache-limit of message
+    objects per memo; call between runs when memory or test isolation
+    matters.
+    """
+    _blob_cache.clear()
+    for memo in _MEMO_REGISTRY:
+        memo.clear()
+
+
+class IdentityMemo:
+    """A bounded memo keyed on object identity.
+
+    For values derived deterministically from an immutable message (its
+    match-key digest, its authenticated bytes): receivers of one multicast
+    share the decoded message object, so a per-object memo computes the
+    derivation once per *message* instead of once per *receiver*. Entries
+    hold a strong reference to the key object, so a live entry's id cannot
+    be recycled; eviction is LRU.
+    """
+
+    __slots__ = ("_cache", "_limit")
+
+    def __init__(self, limit: int = 2048) -> None:
+        self._cache: "OrderedDict[int, tuple[Any, Any]]" = OrderedDict()
+        self._limit = limit
+        _MEMO_REGISTRY.append(self)
+
+    def get(self, obj: Any, compute: Callable[[Any], Any]) -> Any:
+        key = id(obj)
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is obj:
+            cache.move_to_end(key)
+            return hit[1]
+        value = compute(obj)
+        cache[key] = (obj, value)
+        if len(cache) > self._limit:
+            cache.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -5,6 +5,10 @@ Perpetual responder matches replies by digest. Both replicas of any
 correct pair must compute the same digest for the same logical message, so
 digests are always taken over :func:`repro.common.encoding.canonical_encode`
 output.
+
+A :class:`~repro.common.encoding.WireBlob` answers from its memoized
+digest, so code that already encoded a message (a multicast, a stored
+reply) never hashes the same bytes twice.
 """
 
 from __future__ import annotations
@@ -12,17 +16,21 @@ from __future__ import annotations
 import hashlib
 from typing import Any
 
-from repro.common.encoding import canonical_encode
+from repro.common.encoding import WireBlob, canonical_encode
+from repro.common.metrics import METRICS
 
 DIGEST_BYTES = 32
 
 
 def digest(obj: Any) -> bytes:
     """SHA-256 digest of the canonical encoding of ``obj``."""
+    if type(obj) is WireBlob:
+        return obj.digest  # memoized; metrics counted by the blob
     if isinstance(obj, bytes):
         data = obj
     else:
         data = canonical_encode(obj)
+    METRICS.digest_calls += 1
     return hashlib.sha256(data).digest()
 
 

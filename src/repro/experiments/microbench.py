@@ -24,6 +24,7 @@ from repro.apps.workloads import (
     async_window_caller,
     sync_closed_loop_caller,
 )
+from repro.common.encoding import clear_wire_caches
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.sim.kernel import US_PER_S
 from repro.ws.deployment import Deployment
@@ -69,6 +70,10 @@ def _run(
     cpu_ms: int,
     cost_model: CryptoCostModel,
 ) -> MicrobenchResult:
+    # Every cell starts with cold wire caches: sweeps measure each
+    # configuration under equal cache state, and dead message graphs from
+    # earlier cells are released instead of pinned by the global memos.
+    clear_wire_caches()
     deployment = Deployment(name=f"micro-{n_calling}-{n_target}-{window}-{cpu_ms}")
     deployment.declare("caller", n_calling)
     deployment.declare("target", n_target)

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.clbft.messages import message_from_wire, message_to_wire
+from repro.clbft.messages import decode_message, encode_message
+from repro.common.encoding import IdentityMemo
 from repro.common.ids import RequestId, RequestIdAllocator, ServiceId
-from repro.crypto.auth import AuthenticatorFactory
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.keys import KeyStore
 from repro.perpetual.executor import (
@@ -50,6 +50,8 @@ from repro.transport.connection import SimConnection
 from repro.transport.wire import WireEnvelope, auth_from_wire
 
 RETRANSMIT_TIMEOUT_US = 250_000
+
+_BUNDLE_AUTH_BYTES = IdentityMemo()
 
 
 class DriverNode(ProtocolNode):
@@ -103,6 +105,8 @@ class DriverNode(ProtocolNode):
             connection=SimConnection(env),
             charge=env.charge,
             cost_model=self._cost_model,
+            encode=encode_message,
+            decode=decode_message,
         )
 
     @property
@@ -124,11 +128,10 @@ class DriverNode(ProtocolNode):
 
     def on_message(self, src: Any, msg: Any) -> None:
         if isinstance(msg, WireEnvelope):
-            decoded = self._channel.accept(msg)
-            if decoded is None:
+            protocol_msg = self._channel.accept(msg)
+            if protocol_msg is None:
                 return
             sender = self._channel.sender_of(msg)
-            protocol_msg = message_from_wire(decoded)
             if isinstance(protocol_msg, ReplyBundle):
                 self._on_reply_bundle(sender, protocol_msg)
             return
@@ -204,28 +207,15 @@ class DriverNode(ProtocolNode):
 
         The primary-only fast path matches the paper; retransmissions go
         to the whole group, whose members relay to their current primary.
+        The channel signs for the full audience from one encoding pass.
         """
         spec = self.topology.spec(str(request.target))
         voters = [voter_name(str(request.target), i) for i in range(spec.n)]
-        payload = message_to_wire(request)
         if to_all:
-            self._multisend(voters, voters, payload)
+            self._channel.multicast(voters, request)
         else:
             primary_hint = voter_name(str(request.target), 0)
-            self._multisend(voters, [primary_hint], payload)
-
-    def _multisend(
-        self, audience: list[str], recipients: list[str], payload: Any
-    ) -> None:
-        """Authenticate for ``audience`` but transmit only to ``recipients``."""
-        from repro.common.encoding import canonical_encode
-
-        data = canonical_encode(payload)
-        self._env.charge(self._cost_model.authenticator_cost_us(len(audience)))
-        factory = AuthenticatorFactory(self._keys, self.name)
-        envelope = WireEnvelope(payload=data, auth=factory.sign(data, audience))
-        for recipient in recipients:
-            self._env.send(recipient, envelope, size_bytes=envelope.size_bytes)
+            self._channel.multicast_to(voters, [primary_hint], request)
 
     def _retransmit(self, request_id: RequestId) -> None:
         request = self._outstanding[request_id]
@@ -265,8 +255,13 @@ class DriverNode(ProtocolNode):
     def _verify_bundle(self, target: str, bundle: ReplyBundle) -> bool:
         """Check ``ft + 1`` distinct target voters vouch for the result."""
         spec = self.topology.spec(target)
-        data = reply_auth_bytes(bundle.request_id, bundle.result)
-        factory = AuthenticatorFactory(self._keys, self.name)
+        # Every calling driver receives the same decoded bundle object, so
+        # the vouched-for bytes are recomputed once per bundle, not per
+        # driver.
+        data = _BUNDLE_AUTH_BYTES.get(
+            bundle, lambda b: reply_auth_bytes(b.request_id, b.result)
+        )
+        factory = self._channel.auth_factory
         vouching = set()
         for voter_index, wire_auth in bundle.vouchers:
             self._env.charge(self._cost_model.verification_cost_us())
@@ -282,10 +277,9 @@ class DriverNode(ProtocolNode):
 
     def _echo_submission(self, submission: ResultSubmission) -> None:
         """Echo a verified (or timed-out) result to every calling voter."""
-        wire = message_to_wire(submission)
         remote = [v for v in self._own_voters() if v != self.voter]
         if remote:
-            self._channel.multicast(remote, wire)
+            self._channel.multicast(remote, submission)
         self._env.local_deliver(self.voter, submission)
 
     def _propose_abort(self, request_id: RequestId) -> None:

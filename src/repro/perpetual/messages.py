@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar
 
-from repro.clbft.messages import ClientRequest, register
+from repro.clbft.messages import ClientRequest, encode_message, register
 from repro.common.ids import RequestId, ServiceId
 
 # Agreement item kinds (the "op" dict carries a matching "kind" field).
@@ -203,10 +203,7 @@ def reply_auth_bytes(request_id: RequestId, result: Any) -> bytes:
     Target voters sign these bytes for the calling drivers; calling
     drivers recompute them from the bundle to verify each voucher.
     """
-    from repro.clbft.messages import message_to_wire
-    from repro.common.encoding import canonical_encode
-
-    return canonical_encode((request_id, message_to_wire(result)))
+    return encode_message((request_id, result))
 
 
 def item_kind(request: ClientRequest) -> str:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Generator, Iterator
 from repro.common.errors import ExecutorViolation
 from repro.perpetual.executor import (
     Compute,
+    ReceiveAny,
     ReceiveReply,
     ReceiveRequest,
     ReplyEvent,
@@ -154,8 +155,6 @@ def round_robin(
                 event = yield ReceiveReply()
                 pending_replies.append(event)
             else:
-                from repro.perpetual.executor import ReceiveAny
-
                 event = yield ReceiveAny()
                 if isinstance(event, RequestEvent):
                     pending_requests.append(event)

@@ -26,19 +26,21 @@ application is whatever the calling group's own CLBFT instance agreed.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Any
 
 from repro.clbft.config import GroupConfig
 from repro.clbft.messages import (
     ClientRequest,
     PrePrepare,
+    decode_message,
+    encode_message,
     message_from_wire,
     message_to_wire,
 )
-from repro.clbft.replica import ClbftReplica
-from repro.common.encoding import canonical_encode, decode_payload
+from repro.clbft.replica import VIEW_CHANGE_TIMER, ClbftReplica
+from repro.common.encoding import IdentityMemo, wire_blob
 from repro.common.ids import RequestId
-from repro.crypto.auth import AuthenticatorFactory
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.digest import digest_hex
 from repro.crypto.keys import KeyStore
@@ -81,14 +83,17 @@ EPOCH_MS = 1_190_000_000_000
 REPLY_CACHE_LIMIT = 4096
 
 
+@lru_cache(maxsize=4096)
 def voter_name(service: str, index: int) -> str:
     return f"{service}/v{index}"
 
 
+@lru_cache(maxsize=4096)
 def driver_name(service: str, index: int) -> str:
     return f"{service}/d{index}"
 
 
+@lru_cache(maxsize=4096)
 def principal_index(name: str) -> int | None:
     """Replica index from a ``service/vN`` or ``service/dN`` name."""
     _, _, tail = name.rpartition("/")
@@ -97,25 +102,54 @@ def principal_index(name: str) -> int | None:
     return None
 
 
+# Derived-digest memos: voters sharing one decoded message (multicast
+# receivers, local echo + remote echoes of the same submission) compute
+# its match key once. Keyed on object identity; safe because protocol
+# messages are immutable once constructed.
+_REQUEST_KEYS = IdentityMemo()
+_SUBMISSION_KEYS = IdentityMemo()
+_ITEM_RESULT_KEYS = IdentityMemo()
+
+
 def request_match_key(req: OutRequest) -> str:
     """Digest identifying 'matching' stage-1 copies.
 
     Retries rotate ``responder_index`` and bump ``attempt``; copies still
     match if the logical request — id, caller, target, payload — agrees.
+    Keys are digests of the fused wire encoding; every voter derives them
+    with this same function, so only internal consistency matters.
     """
-    return digest_hex(
-        (
-            "out-request",
-            req.request_id,
-            req.caller,
-            req.target,
-            message_to_wire(req.payload),
-        )
+    return _REQUEST_KEYS.get(
+        req,
+        lambda r: digest_hex(
+            encode_message(
+                ("out-request", r.request_id, r.caller, r.target, r.payload)
+            )
+        ),
     )
 
 
 def result_match_key(request_id: RequestId, result: Any, aborted: bool) -> str:
-    return digest_hex(("result", request_id, message_to_wire(result), aborted))
+    return digest_hex(encode_message(("result", request_id, result, aborted)))
+
+
+def submission_match_key(msg: ResultSubmission) -> str:
+    """Match key of a stage-7 submission, computed once per message."""
+    return _SUBMISSION_KEYS.get(
+        msg, lambda m: result_match_key(m.request_id, m.result, m.aborted)
+    )
+
+
+def item_result_key(item: ClientRequest) -> str:
+    """Match key of a result/abort agreement item, once per shared item."""
+    return _ITEM_RESULT_KEYS.get(
+        item,
+        lambda it: result_match_key(
+            it.op.get("request_id"),
+            it.op.get("value"),
+            item_kind(it) == ITEM_ABORT,
+        ),
+    )
 
 
 class VoterNode(ProtocolNode):
@@ -142,13 +176,18 @@ class VoterNode(ProtocolNode):
         self._env: SimNodeEnv | None = None
         self._channel: ChannelAdapter | None = None
         self.replica: ClbftReplica | None = None
+        # Memoized peer-name lists (topology is fixed for a deployment).
+        self._siblings_cache: list[str] | None = None
+        self._caller_drivers_cache: dict[str, list[str]] = {}
 
         # Stage-2 collection: match-key -> {calling driver name: (envelope, req)}.
         self._request_copies: dict[str, dict[str, tuple[WireEnvelope, OutRequest]]] = {}
         # Executed external requests: request-id -> agreed OutRequest meta.
         self._incoming_meta: dict[RequestId, OutRequest] = {}
-        # Local executor replies, kept for re-forwarding on retries.
-        self._reply_store: dict[RequestId, ReplyForward] = {}
+        # Local executor replies, kept for re-forwarding on retries: the
+        # forward plus its encode-once blob, so a retry re-sends cached
+        # bytes instead of re-running the encoder.
+        self._reply_store: dict[RequestId, tuple[ReplyForward, Any]] = {}
         # Responder duty: request-id -> {voter index: ReplyForward}.
         self._responder_collect: dict[RequestId, dict[int, ReplyForward]] = {}
         self._responder_sent: set[RequestId] = set()
@@ -180,6 +219,8 @@ class VoterNode(ProtocolNode):
             connection=SimConnection(env),
             charge=env.charge,
             cost_model=self._cost_model,
+            encode=encode_message,
+            decode=decode_message,
         )
         self.replica = ClbftReplica(
             config=self.config,
@@ -197,23 +238,24 @@ class VoterNode(ProtocolNode):
         return driver_name(self.service, self.index)
 
     def _sibling_voters(self) -> list[str]:
-        spec = self.topology.spec(self.service)
-        return [
-            voter_name(self.service, i)
-            for i in range(spec.n)
-            if i != self.index
-        ]
+        siblings = self._siblings_cache
+        if siblings is None:
+            spec = self.topology.spec(self.service)
+            siblings = self._siblings_cache = [
+                voter_name(self.service, i)
+                for i in range(spec.n)
+                if i != self.index
+            ]
+        return siblings
 
     def _clbft_multicast(self, msg: Any) -> None:
-        self._channel.multicast(self._sibling_voters(), message_to_wire(msg))
+        self._channel.multicast(self._sibling_voters(), msg)
 
     def _clbft_send_to(self, index: int, msg: Any) -> None:
         if index == self.index:
             self.replica.on_message(index, msg)
         else:
-            self._channel.send(
-                voter_name(self.service, index), message_to_wire(msg)
-            )
+            self._channel.send(voter_name(self.service, index), msg)
 
     # ------------------------------------------------------------------
     # Kernel entry points
@@ -231,11 +273,11 @@ class VoterNode(ProtocolNode):
     # -- network messages ---------------------------------------------------
 
     def _on_network(self, envelope: WireEnvelope) -> None:
-        decoded = self._channel.accept(envelope)
-        if decoded is None:
+        # The channel's fused codec decodes straight to protocol messages.
+        msg = self._channel.accept(envelope)
+        if msg is None:
             return
         sender = self._channel.sender_of(envelope)
-        msg = message_from_wire(decoded)
         if isinstance(msg, OutRequest):
             self._on_out_request(sender, envelope, msg)
         elif isinstance(msg, ReplyForward):
@@ -284,7 +326,8 @@ class VoterNode(ProtocolNode):
             # Already executed: a retry routes the stored reply to the
             # retry's responder (the fault-handling path for a faulty
             # responder).
-            self._forward_reply(self._reply_store[req.request_id], req)
+            stored_forward, stored_blob = self._reply_store[req.request_id]
+            self._forward_reply(stored_forward, stored_blob, req)
             return
         key = request_match_key(req)
         copies = self._request_copies.setdefault(key, {})
@@ -305,8 +348,6 @@ class VoterNode(ProtocolNode):
                     envelope,
                     size_bytes=envelope.size_bytes,
                 )
-            from repro.clbft.replica import VIEW_CHANGE_TIMER
-
             if not self._env.timer_armed(VIEW_CHANGE_TIMER):
                 self._env.set_timer(
                     VIEW_CHANGE_TIMER, self.config.view_change_timeout_us
@@ -355,12 +396,12 @@ class VoterNode(ProtocolNode):
         if caller_spec is None or len(proof) < caller_spec.f + 1:
             return False
         expected_key = request_match_key(agreed_req)
-        verifier = AuthenticatorFactory(self._keys, self.name)
+        verifier = self._channel.auth_factory
         senders = set()
         for envelope in proof:
             if not verifier.verify(envelope.payload, envelope.auth):
                 return False
-            copy = message_from_wire(decode_payload(envelope.payload))
+            copy = decode_message(envelope.payload)
             if not isinstance(copy, OutRequest):
                 return False
             if request_match_key(copy) != expected_key:
@@ -390,25 +431,27 @@ class VoterNode(ProtocolNode):
             voter_index=self.index,
             auth=auth,
         )
-        self._bounded_put(self._reply_store, msg.request_id, forward)
-        self._forward_reply(forward, meta)
+        blob = wire_blob(forward, encode_message)
+        self._bounded_put(self._reply_store, msg.request_id, (forward, blob))
+        self._forward_reply(forward, blob, meta)
 
     def _sign_for(self, receivers: list[str], data: bytes) -> list:
         """MAC authenticator over ``data`` for the calling drivers."""
         self._env.charge(self._cost_model.authenticator_cost_us(len(receivers)))
-        factory = AuthenticatorFactory(self._keys, self.name)
+        factory = self._channel.auth_factory
         return auth_to_wire(factory.sign(data, list(receivers)))
 
-    def _forward_reply(self, forward: ReplyForward, meta: OutRequest) -> None:
+    def _forward_reply(
+        self, forward: ReplyForward, blob: Any, meta: OutRequest
+    ) -> None:
         spec = self.topology.spec(self.service)
         responder_index = meta.responder_index % spec.n
         if responder_index == self.index:
             self._collect_reply(forward, meta)
         else:
-            self._channel.send(
-                voter_name(self.service, responder_index),
-                message_to_wire(forward),
-            )
+            # Forward the cached blob: retries and rotated responders
+            # reuse the bytes encoded when the result was first stored.
+            self._channel.send(voter_name(self.service, responder_index), blob)
 
     def _on_reply_forward(self, sender: str, msg: ReplyForward) -> None:
         index = principal_index(sender)
@@ -442,15 +485,23 @@ class VoterNode(ProtocolNode):
                         (fwd.voter_index, fwd.auth) for fwd in matching
                     ),
                 )
-                for driver in self._caller_drivers(str(meta.caller)):
-                    self._channel.send(driver, message_to_wire(bundle))
+                # Stage 6 fast path: encode the bundle once and multicast
+                # it with one authenticator covering every calling driver
+                # (the seed re-encoded and re-signed per driver).
+                self._channel.multicast(
+                    self._caller_drivers(str(meta.caller)), bundle
+                )
                 self._responder_sent.add(request_id)
                 self._responder_collect.pop(request_id, None)
                 return
 
     def _caller_drivers(self, caller: str) -> list[str]:
-        spec = self.topology.spec(caller)
-        return [driver_name(caller, i) for i in range(spec.n)]
+        drivers = self._caller_drivers_cache.get(caller)
+        if drivers is None:
+            spec = self.topology.spec(caller)
+            drivers = [driver_name(caller, i) for i in range(spec.n)]
+            self._caller_drivers_cache[caller] = drivers
+        return drivers
 
     # ------------------------------------------------------------------
     # Stage 7-8: result submissions from calling drivers
@@ -461,7 +512,7 @@ class VoterNode(ProtocolNode):
     ) -> None:
         if msg.request_id in self._delivered_results:
             return
-        key = result_match_key(msg.request_id, msg.result, msg.aborted)
+        key = submission_match_key(msg)
         echoes = self._result_echoes.setdefault(msg.request_id, {})
         echoes[driver_index] = key
         if own:
@@ -547,10 +598,7 @@ class VoterNode(ProtocolNode):
                 request_id = item.op.get("request_id")
                 if request_id in self._delivered_results:
                     continue  # stale re-proposal; executing it is a no-op
-                aborted = kind == ITEM_ABORT
-                key = result_match_key(
-                    request_id, item.op.get("value"), aborted
-                )
+                key = item_result_key(item)
                 if not self._result_validated(request_id, key):
                     return "defer"
             elif kind == ITEM_UTILITY:

@@ -14,29 +14,42 @@ as on the testbed. Message handling at a node begins when both the message
 has arrived and the host CPU is free; ``charge(us)`` extends the busy
 period; messages sent during handling depart at the charge-accumulated
 point of the send call.
+
+The event queue is the innermost loop of every experiment, so it is kept
+lean: heap entries are plain ``(time_us, seq, payload)`` tuples (native
+tuple comparison, no dataclass ``__lt__``), where ``payload`` is the
+callable itself for ordinary events and a slotted :class:`Event` record
+only where cancellation must be observable (timers). Cancelled timers are
+compacted out of the heap periodically so long runs with heavy re-arming
+(retransmission timers under TPC-W load) do not accumulate dead entries.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common.errors import SimulationError
+from repro.common.metrics import METRICS
 
 US_PER_MS = 1_000
 US_PER_S = 1_000_000
 
+# Compact the heap when more than this many cancelled timers are queued
+# AND they outnumber the live entries (amortised O(1) per cancellation).
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class Event:
-    """One scheduled callback. Ordered by (time, tiebreak seq)."""
+    """A cancellable scheduled callback (used for timers)."""
 
-    time_us: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time_us", "action", "cancelled")
+
+    def __init__(self, time_us: int, action: Callable[[], None]) -> None:
+        self.time_us = time_us
+        self.action = action
+        self.cancelled = False
 
 
 class ProtocolNode:
@@ -55,6 +68,8 @@ class ProtocolNode:
 class NodeCpu:
     """Serialises the work of all nodes sharing one host CPU."""
 
+    __slots__ = ("free_at_us",)
+
     def __init__(self) -> None:
         self.free_at_us = 0
 
@@ -67,7 +82,9 @@ class Simulator:
     """Deterministic event loop with per-host CPU accounting."""
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        # Heap of (time_us, seq, payload); payload is a zero-arg callable
+        # or an Event for cancellable entries.
+        self._queue: list[tuple[int, int, Any]] = []
         self._seq = itertools.count()
         self._now_us = 0
         self._nodes: dict[str, ProtocolNode] = {}
@@ -76,6 +93,7 @@ class Simulator:
         self._node_cpu: dict[str, str] = {}
         self._network = None
         self._started = False
+        self._cancelled_in_queue = 0
         self.events_processed = 0
 
     # -- construction -----------------------------------------------------
@@ -119,20 +137,52 @@ class Simulator:
     def now_us(self) -> int:
         return self._now_us
 
-    def schedule(self, delay_us: int, action: Callable[[], None]) -> Event:
+    def schedule(self, delay_us: int, action: Callable[[], None]) -> None:
         """Schedule ``action`` at ``now + delay_us``."""
         if delay_us < 0:
             raise SimulationError(f"negative delay: {delay_us}")
-        event = Event(self._now_us + int(delay_us), next(self._seq), action)
-        heapq.heappush(self._queue, event)
-        return event
+        heapq.heappush(
+            self._queue, (self._now_us + int(delay_us), next(self._seq), action)
+        )
 
-    def schedule_at(self, time_us: int, action: Callable[[], None]) -> Event:
+    def schedule_at(self, time_us: int, action: Callable[[], None]) -> None:
         if time_us < self._now_us:
             raise SimulationError(f"cannot schedule in the past: {time_us}")
-        event = Event(int(time_us), next(self._seq), action)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (int(time_us), next(self._seq), action))
+
+    def schedule_timer(self, time_us: int, action: Callable[[], None]) -> Event:
+        """Schedule a cancellable event; returns its :class:`Event` handle."""
+        event = Event(int(time_us), action)
+        heapq.heappush(self._queue, (event.time_us, next(self._seq), event))
         return event
+
+    def cancel_event(self, event: Event) -> None:
+        """Mark a scheduled event dead; the heap entry is skipped on pop
+        and physically removed by the next compaction pass."""
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled timer entries.
+
+        In place (slice assignment): ``run`` aliases the queue list, so
+        rebinding the attribute would strand the loop on a stale heap.
+        """
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        METRICS.heap_compactions += 1
 
     # -- message plumbing ---------------------------------------------------
 
@@ -204,24 +254,36 @@ class Simulator:
         """
         self.start()
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until_us is not None and event.time_us > until_us:
-                self._now_us = until_us
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            heapq.heappop(self._queue)
-            self._now_us = event.time_us
-            event.action()
-            processed += 1
-            self.events_processed += 1
-        else:
-            if until_us is not None:
-                self._now_us = max(self._now_us, until_us)
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while queue:
+                time_us, _, payload = queue[0]
+                if type(payload) is Event:
+                    if payload.cancelled:
+                        pop(queue)
+                        self._cancelled_in_queue -= 1
+                        continue
+                    action = payload.action
+                else:
+                    action = payload
+                if until_us is not None and time_us > until_us:
+                    self._now_us = until_us
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                pop(queue)
+                self._now_us = time_us
+                action()
+                processed += 1
+            else:
+                if until_us is not None:
+                    self._now_us = max(self._now_us, until_us)
+        finally:
+            # Counted even when a handler raises, so observers never see
+            # a total that omits the events of a failed run.
+            self.events_processed += processed
+            METRICS.events_processed += processed
         return processed
 
     def run_for(self, duration_us: int) -> int:
@@ -236,6 +298,17 @@ class SimNodeEnv:
     during handling and released with their charge-accumulated departure
     times when the handler returns.
     """
+
+    __slots__ = (
+        "_sim",
+        "node_id",
+        "_key",
+        "_handling",
+        "_start_us",
+        "_charged_us",
+        "_outbox",
+        "_timers",
+    )
 
     def __init__(self, sim: Simulator, node_id: Any) -> None:
         self._sim = sim
@@ -305,13 +378,9 @@ class SimNodeEnv:
         """Arm (or re-arm) the timer named ``tag``."""
         self.cancel_timer(tag)
         fire_at = self.now_us() + int(delay_us)
-        event = Event(
-            fire_at,
-            next(self._sim._seq),
-            lambda: self._on_timer_fired(tag),
+        self._timers[tag] = self._sim.schedule_timer(
+            fire_at, lambda: self._on_timer_fired(tag)
         )
-        heapq.heappush(self._sim._queue, event)
-        self._timers[tag] = event
 
     def _on_timer_fired(self, tag: Any) -> None:
         self._timers.pop(tag, None)
@@ -320,7 +389,7 @@ class SimNodeEnv:
     def cancel_timer(self, tag: Any) -> None:
         event = self._timers.pop(tag, None)
         if event is not None:
-            event.cancelled = True
+            self._sim.cancel_event(event)
 
     def timer_armed(self, tag: Any) -> bool:
         return tag in self._timers

@@ -14,6 +14,7 @@ import base64
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Any
+from xml.sax.saxutils import escape, quoteattr
 
 from repro.common.errors import ProtocolError
 
@@ -76,6 +77,44 @@ def body_from_xml(element: ET.Element) -> Any:
     raise ProtocolError(f"unknown SOAP body type: {kind!r}")
 
 
+def _fast_body_xml(out: list[str], tag: str, value: Any, extra: str = "") -> None:
+    """Append ``value`` to ``out`` as typed XML markup (string building).
+
+    Marshaling runs on every request and reply, so the envelope is built
+    by direct string concatenation instead of an ElementTree pass; the
+    markup round-trips through :func:`body_from_xml` identically.
+    """
+    if value is None:
+        out.append(f"<{tag} t=\"null\"{extra} />")
+    elif value is True:
+        out.append(f"<{tag} t=\"bool\"{extra}>1</{tag}>")
+    elif value is False:
+        out.append(f"<{tag} t=\"bool\"{extra}>0</{tag}>")
+    elif isinstance(value, int):
+        out.append(f"<{tag} t=\"int\"{extra}>{value}</{tag}>")
+    elif isinstance(value, str):
+        out.append(f"<{tag} t=\"str\"{extra}>{escape(value)}</{tag}>")
+    elif isinstance(value, bytes):
+        encoded = base64.b64encode(value).decode("ascii")
+        out.append(f"<{tag} t=\"b64\"{extra}>{encoded}</{tag}>")
+    elif isinstance(value, list):
+        out.append(f"<{tag} t=\"list\"{extra}>")
+        for item in value:
+            _fast_body_xml(out, "item", item)
+        out.append(f"</{tag}>")
+    elif isinstance(value, dict):
+        out.append(f"<{tag} t=\"map\"{extra}>")
+        for key in value:
+            if not isinstance(key, str):
+                raise ProtocolError(f"non-string SOAP map key: {key!r}")
+            _fast_body_xml(out, "entry", value[key], f" k={quoteattr(key)}")
+        out.append(f"</{tag}>")
+    else:
+        raise ProtocolError(
+            f"type {type(value).__name__} is not SOAP-encodable"
+        )
+
+
 @dataclass
 class SoapEnvelope:
     """One SOAP message: headers (flat string map) and a body payload."""
@@ -84,15 +123,16 @@ class SoapEnvelope:
     body: Any = None
 
     def to_xml(self) -> bytes:
-        root = ET.Element(f"{{{SOAP_NS}}}Envelope")
-        header_el = ET.SubElement(root, f"{{{SOAP_NS}}}Header")
+        out = [f'<soap:Envelope xmlns:soap="{SOAP_NS}"><soap:Header>']
         for name in sorted(self.headers):
-            block = ET.SubElement(header_el, "block")
-            block.set("name", name)
-            block.text = self.headers[name]
-        body_el = ET.SubElement(root, f"{{{SOAP_NS}}}Body")
-        body_to_xml(body_el, "payload", self.body)
-        return ET.tostring(root, encoding="utf-8")
+            out.append(
+                f"<block name={quoteattr(name)}>"
+                f"{escape(self.headers[name])}</block>"
+            )
+        out.append("</soap:Header><soap:Body>")
+        _fast_body_xml(out, "payload", self.body)
+        out.append("</soap:Body></soap:Envelope>")
+        return "".join(out).encode("utf-8")
 
     @classmethod
     def from_xml(cls, data: bytes) -> "SoapEnvelope":

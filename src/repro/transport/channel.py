@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.common.encoding import canonical_encode, decode_payload
+from repro.common.encoding import decode_payload, wire_blob
+from repro.common.metrics import METRICS
 from repro.crypto.auth import AuthenticatorFactory
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.keys import KeyStore
@@ -40,6 +41,8 @@ class ChannelAdapter:
         charge: Callable[[int], None] | None = None,
         cost_model: CryptoCostModel = MAC_COST_MODEL,
         wire_cpu_us: int = DEFAULT_WIRE_CPU_US,
+        encode: Callable[[Any], bytes] | None = None,
+        decode: Callable[[bytes], Any] | None = None,
     ) -> None:
         self._me = me
         self._auth = AuthenticatorFactory(keys, me)
@@ -47,6 +50,11 @@ class ChannelAdapter:
         self._charge = charge or (lambda us: None)
         self._cost = cost_model
         self._wire_cpu_us = wire_cpu_us
+        # Injected wire codec: protocol nodes pass the fused message codec
+        # so their dataclass messages cross the channel in one walk; the
+        # default canonical codec serves plain payloads.
+        self._encode = encode
+        self._decode = decode or decode_payload
         self.sent_count = 0
         self.received_count = 0
         self.rejected_count = 0
@@ -54,6 +62,12 @@ class ChannelAdapter:
     @property
     def principal(self) -> Any:
         return self._me
+
+    @property
+    def auth_factory(self) -> AuthenticatorFactory:
+        """The adapter's authenticator factory, shared so protocol code
+        above the channel signs/verifies without rebuilding factories."""
+        return self._auth
 
     # -- sending ----------------------------------------------------------
 
@@ -68,16 +82,32 @@ class ChannelAdapter:
         receiver verifies only its own entry. Signing cost is charged
         once, with the per-receiver increment from the cost model.
         """
-        if not dsts:
+        self.multicast_to(dsts, dsts, message)
+
+    def multicast_to(
+        self, audience: list[Any], recipients: list[Any], message: Any
+    ) -> None:
+        """Authenticate for ``audience`` but transmit only to ``recipients``.
+
+        The Perpetual stage-1 fast path signs a request for every target
+        voter while transmitting only to the primary, so the primary can
+        embed the envelope as proof every voter can verify. ``message``
+        may be a pre-encoded :class:`~repro.common.encoding.WireBlob`;
+        plain messages are encoded exactly once through the blob cache.
+        """
+        if not recipients:
             return
-        payload = canonical_encode(message)
-        self._charge(self._cost.authenticator_cost_us(len(dsts)))
-        auth = self._auth.sign(payload, list(dsts))
-        envelope = WireEnvelope(payload=payload, auth=auth)
-        for dst in dsts:
+        blob = wire_blob(message, self._encode)
+        METRICS.multicasts += 1
+        self._charge(self._cost.authenticator_cost_us(len(audience)))
+        auth = self._auth.sign(blob, list(audience))
+        envelope = WireEnvelope(payload=blob.data, auth=auth)
+        transmit = self._connection.transmit
+        for dst in recipients:
             self._charge(self._wire_cpu_us)
-            self._connection.transmit(dst, envelope)
-            self.sent_count += 1
+            transmit(dst, envelope)
+            METRICS.envelopes_sent += 1
+        self.sent_count += len(recipients)
 
     # -- receiving ----------------------------------------------------------
 
@@ -87,14 +117,27 @@ class ChannelAdapter:
         Returns the decoded protocol message, or ``None`` if verification
         failed (the envelope is silently dropped, as a correct CLBFT
         replica does with unauthenticated input).
+
+        Decoding is memoized on the envelope: a multicast delivers one
+        envelope object to every co-resident receiver, so later receivers
+        reuse the first decode. The decoded graph is therefore shared —
+        receivers must treat messages as immutable, which replica
+        determinism already demands.
         """
         self._charge(self._wire_cpu_us)
         self._charge(self._cost.verification_cost_us())
-        if not self._auth.verify(envelope.payload, envelope.auth):
+        if not self._auth.verify_prehashed(envelope.payload_digest, envelope.auth):
             self.rejected_count += 1
             return None
         self.received_count += 1
-        return decode_payload(envelope.payload)
+        # Memo keyed by decoder: receivers with a different codec (mixed
+        # deployments) re-decode rather than alias the wrong object form.
+        memo = getattr(envelope, "_decoded", None)
+        if memo is not None and memo[0] is self._decode:
+            return memo[1]
+        decoded = self._decode(envelope.payload)
+        object.__setattr__(envelope, "_decoded", (self._decode, decoded))
+        return decoded
 
     def sender_of(self, envelope: WireEnvelope) -> str:
         """The claimed sender (authenticated iff :meth:`accept` passed)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.auth import Authenticator
+from repro.crypto.digest import digest
 
 
 def auth_to_wire(auth: Authenticator) -> list:
@@ -35,9 +36,31 @@ class WireEnvelope:
 
     @property
     def size_bytes(self) -> int:
-        """Approximate wire size, used by the network latency model."""
-        mac_bytes = sum(len(tag) + 24 for _, tag in self.auth.entries)
-        return len(self.payload) + mac_bytes + 32
+        """Approximate wire size, used by the network latency model.
+
+        Computed once per envelope: a multicast envelope is transmitted
+        to every receiver and the size model queries it per transmit.
+        """
+        cached = getattr(self, "_size_bytes", None)
+        if cached is None:
+            mac_bytes = sum(len(tag) + 24 for _, tag in self.auth.entries)
+            cached = len(self.payload) + mac_bytes + 32
+            object.__setattr__(self, "_size_bytes", cached)
+        return cached
+
+    @property
+    def payload_digest(self) -> bytes:
+        """SHA-256 of the payload, computed once per envelope.
+
+        Every co-resident receiver of a multicast verifies the same
+        envelope object, so the verification pre-hash is shared instead
+        of recomputed per receiver.
+        """
+        cached = getattr(self, "_payload_digest", None)
+        if cached is None:
+            cached = digest(self.payload)
+            object.__setattr__(self, "_payload_digest", cached)
+        return cached
 
 
 def envelope_to_wire(envelope: WireEnvelope) -> list:

@@ -7,13 +7,23 @@ generated samples).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.common.encoding import canonical_encode, decode_payload
-from repro.common.ids import NodeId, ReplicaId, RequestId, ServiceId
+from repro.common.encoding import (
+    WireBlob,
+    canonical_encode,
+    decode_payload,
+    wire_blob,
+)
+from repro.common.ids import MessageId, NodeId, ReplicaId, RequestId, ServiceId
 
 service_names = st.text(
     alphabet=st.characters(min_codepoint=97, max_codepoint=122),
     min_size=1,
     max_size=8,
+)
+
+replica_ids = st.builds(
+    ReplicaId, st.builds(ServiceId, service_names),
+    st.integers(min_value=0, max_value=64),
 )
 
 scalars = st.one_of(
@@ -30,9 +40,14 @@ scalars = st.one_of(
         RequestId, st.builds(ServiceId, service_names),
         st.integers(min_value=0, max_value=2**32),
     ),
+    replica_ids,
+    st.builds(NodeId, replica_ids, st.sampled_from(["voter", "driver"])),
     st.builds(
-        ReplicaId, st.builds(ServiceId, service_names),
-        st.integers(min_value=0, max_value=64),
+        MessageId,
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=24,
+        ),
     ),
 )
 
@@ -84,3 +99,20 @@ def test_injective_on_samples(a, b):
 def test_key_order_irrelevant(d):
     reordered = dict(reversed(list(d.items())))
     assert canonical_encode(d) == canonical_encode(reordered)
+
+
+@given(values)
+@settings(max_examples=100)
+def test_wire_blob_matches_direct_encode(value):
+    blob = WireBlob(value)
+    assert blob.data == canonical_encode(value)
+    assert decode_payload(blob.data) == value
+
+
+@given(values)
+@settings(max_examples=100)
+def test_wire_blob_cache_roundtrips(value):
+    container = [value]  # ensure a cacheable (non-interned) identity
+    blob = wire_blob(container)
+    assert wire_blob(container) is blob
+    assert decode_payload(blob.data) == [value]

@@ -1,0 +1,143 @@
+"""Property tests: the fused wire codec matches the two-pass reference.
+
+``encode_message`` / ``decode_message`` exist purely for speed; their
+contract is byte-for-byte equivalence with
+``canonical_encode(message_to_wire(x))`` and value equivalence with
+``message_from_wire(decode_payload(data))``. Replica agreement depends on
+every replica producing identical bytes, so this equivalence is the
+load-bearing property of the wire fast path.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clbft.messages import (
+    ClientRequest,
+    Commit,
+    PrePrepare,
+    Prepare,
+    decode_message,
+    encode_message,
+    message_from_wire,
+    message_to_wire,
+)
+from repro.common.encoding import canonical_encode, decode_payload
+from repro.common.ids import RequestId, ServiceId
+from repro.perpetual.messages import OutRequest, ReplyBundle, ResultSubmission
+
+service_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+request_ids = st.builds(
+    RequestId, st.builds(ServiceId, service_names),
+    st.integers(min_value=0, max_value=2**32),
+)
+
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=24,
+        ),
+        # Non-ASCII and control characters exercise the escape path, which
+        # must match json.dumps(ensure_ascii=True) byte for byte.
+        st.text(max_size=12),
+        st.binary(max_size=24),
+        request_ids,
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=6,
+            ),
+            children,
+            max_size=3,
+        ),
+    ),
+    max_leaves=8,
+)
+
+out_requests = st.builds(
+    OutRequest,
+    request_id=request_ids,
+    caller=st.builds(ServiceId, service_names),
+    target=st.builds(ServiceId, service_names),
+    payload=payloads,
+    responder_index=st.integers(min_value=0, max_value=9),
+    attempt=st.integers(min_value=0, max_value=3),
+)
+
+client_requests = st.builds(
+    ClientRequest,
+    client=service_names,
+    timestamp=st.integers(min_value=0, max_value=2**32),
+    op=payloads,
+)
+
+messages = st.one_of(
+    payloads,
+    out_requests,
+    client_requests,
+    st.builds(
+        Prepare,
+        view=st.integers(min_value=0, max_value=9),
+        seqno=st.integers(min_value=0, max_value=999),
+        digest=st.binary(min_size=32, max_size=32),
+        replica=st.integers(min_value=0, max_value=9),
+    ),
+    st.builds(
+        Commit,
+        view=st.integers(min_value=0, max_value=9),
+        seqno=st.integers(min_value=0, max_value=999),
+        digest=st.binary(min_size=32, max_size=32),
+        replica=st.integers(min_value=0, max_value=9),
+    ),
+    st.builds(
+        PrePrepare,
+        view=st.integers(min_value=0, max_value=9),
+        seqno=st.integers(min_value=0, max_value=999),
+        digest=st.binary(min_size=32, max_size=32),
+        requests=st.lists(client_requests, max_size=3).map(tuple),
+    ),
+    st.builds(
+        ResultSubmission,
+        request_id=request_ids,
+        result=payloads,
+        aborted=st.booleans(),
+    ),
+    st.builds(
+        ReplyBundle,
+        request_id=request_ids,
+        result=payloads,
+        vouchers=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=9), payloads),
+            max_size=3,
+        ).map(tuple),
+    ),
+)
+
+
+@given(messages)
+@settings(max_examples=300)
+def test_fused_encode_matches_two_pass_reference(msg):
+    assert encode_message(msg) == canonical_encode(message_to_wire(msg))
+
+
+@given(messages)
+@settings(max_examples=300)
+def test_fused_decode_matches_two_pass_reference(msg):
+    data = encode_message(msg)
+    assert decode_message(data) == message_from_wire(decode_payload(data))
+
+
+@given(messages)
+@settings(max_examples=200)
+def test_fused_roundtrip_identity(msg):
+    assert decode_message(encode_message(msg)) == msg

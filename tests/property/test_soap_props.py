@@ -1,8 +1,10 @@
 """Property-based tests: SOAP envelope marshal/demarshal identity."""
 
+import xml.etree.ElementTree as ET
+
 from hypothesis import given, settings, strategies as st
 
-from repro.soap.envelope import SoapEnvelope
+from repro.soap.envelope import SoapEnvelope, body_from_xml, body_to_xml
 
 header_names = st.text(
     alphabet=st.characters(min_codepoint=97, max_codepoint=122),
@@ -46,3 +48,20 @@ def test_envelope_roundtrip(headers, body):
 @settings(max_examples=80)
 def test_marshal_deterministic(body):
     assert SoapEnvelope(body=body).to_xml() == SoapEnvelope(body=body).to_xml()
+
+
+@given(bodies)
+@settings(max_examples=150)
+def test_fast_marshal_matches_elementtree_reference(body):
+    """The string-building marshaller and the retained ElementTree codec
+    must stay interchangeable: XML from either parses to the same value."""
+    fast = SoapEnvelope(body=body).to_xml()
+    fast_payload = ET.fromstring(fast).find(
+        "{http://www.w3.org/2003/05/soap-envelope}Body/payload"
+    )
+    assert fast_payload is not None
+    assert body_from_xml(fast_payload) == body
+
+    reference_parent = ET.Element("parent")
+    reference = body_to_xml(reference_parent, "payload", body)
+    assert body_from_xml(reference) == body
