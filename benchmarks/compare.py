@@ -1,17 +1,22 @@
 #!/usr/bin/env python
-"""Run the fig8 processing-time benchmark and gate on regressions.
+"""Run the figure benchmarks' representative cells and gate on regressions.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/compare.py                 # run + compare
     PYTHONPATH=src python benchmarks/compare.py --update-baseline
+    PYTHONPATH=src python benchmarks/compare.py --tag PR3
 
-The script runs the representative Figure-8 benchmark cell under
-``pytest-benchmark`` (with ``--benchmark-autosave``, so the full history
-accumulates under ``.benchmarks/``), writes the trajectory point to
-``BENCH_PR1.json`` at the repo root, and exits non-zero if the median
-processing time regressed more than :data:`TOLERANCE` versus the stored
-baseline in ``benchmarks/baseline_fig8.json``.
+The script runs one representative cell per micro-benchmark figure —
+fig7 (replica scalability), fig8 (processing time), and fig9 (async
+window) — under ``pytest-benchmark`` (with ``--benchmark-autosave``, so
+the full history accumulates under ``.benchmarks/``), writes the
+trajectory point to ``BENCH_<TAG>.json`` at the repo root, and exits
+non-zero if any cell's median regressed more than :data:`TOLERANCE`
+versus its stored baseline in ``benchmarks/baseline_<fig>.json``.
+
+For continuity with the PR 1 trajectory point, the fig8 stats are also
+mirrored at the top level of the output document.
 """
 
 from __future__ import annotations
@@ -24,26 +29,40 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_fig8.json"
 #: Default tag for the trajectory point; later PRs pass --tag PR<n> so the
 #: BENCH_PR*.json series accumulates instead of overwriting.
-DEFAULT_TAG = "PR1"
-BENCH_TEST = (
-    "benchmarks/test_fig8_processing_time.py::"
-    "test_fig8_benchmark_representative_cell"
-)
+DEFAULT_TAG = "PR2"
+#: One gated representative cell per micro-benchmark figure.
+BENCH_CELLS = {
+    "fig7": (
+        "benchmarks/test_fig7_replica_scalability.py::"
+        "test_fig7_benchmark_representative_cell"
+    ),
+    "fig8": (
+        "benchmarks/test_fig8_processing_time.py::"
+        "test_fig8_benchmark_representative_cell"
+    ),
+    "fig9": (
+        "benchmarks/test_fig9_async_window.py::"
+        "test_fig9_benchmark_representative_cell"
+    ),
+}
 #: Maximum tolerated median regression vs the stored baseline.
 TOLERANCE = 0.10
 
 
-def run_benchmark() -> dict:
-    """Run the fig8 representative cell; return its pytest-benchmark stats."""
+def baseline_path(fig: str) -> Path:
+    return REPO_ROOT / "benchmarks" / f"baseline_{fig}.json"
+
+
+def run_benchmarks() -> dict[str, dict]:
+    """Run every representative cell; return per-figure benchmark stats."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = Path(handle.name)
     try:
         result = subprocess.run(
             [
-                sys.executable, "-m", "pytest", BENCH_TEST, "-q",
+                sys.executable, "-m", "pytest", *BENCH_CELLS.values(), "-q",
                 "--benchmark-autosave",
                 f"--benchmark-json={json_path}",
             ],
@@ -61,22 +80,35 @@ def run_benchmark() -> dict:
     benchmarks = data.get("benchmarks", [])
     if not benchmarks:
         raise SystemExit("benchmark run produced no samples")
-    stats = benchmarks[0]["stats"]
     machine = data.get("machine_info", {})
-    return {
-        "test": BENCH_TEST,
-        "mean_s": stats["mean"],
-        "median_s": stats["median"],
-        "min_s": stats["min"],
-        "max_s": stats["max"],
-        "rounds": stats["rounds"],
-        "machine": {
-            "cpu": machine.get("cpu", {}).get("brand_raw", ""),
-            "python": machine.get("python_version", ""),
-            "node": machine.get("node", ""),
-        },
-        "datetime": data.get("datetime"),
+    machine_point = {
+        "cpu": machine.get("cpu", {}).get("brand_raw", ""),
+        "python": machine.get("python_version", ""),
+        "node": machine.get("node", ""),
     }
+    cells: dict[str, dict] = {}
+    for fig, test in BENCH_CELLS.items():
+        # Representative-cell test names are unique across figures.
+        test_name = test.split("::")[-1]
+        sample = next(
+            (b for b in benchmarks
+             if b["fullname"].split("::")[-1] == test_name),
+            None,
+        )
+        if sample is None:
+            raise SystemExit(f"benchmark run produced no sample for {fig}")
+        stats = sample["stats"]
+        cells[fig] = {
+            "test": test,
+            "mean_s": stats["mean"],
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "max_s": stats["max"],
+            "rounds": stats["rounds"],
+            "machine": machine_point,
+            "datetime": data.get("datetime"),
+        }
+    return cells
 
 
 def main() -> int:
@@ -84,7 +116,7 @@ def main() -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="store this run's stats as the new regression baseline",
+        help="store this run's stats as the new regression baselines",
     )
     parser.add_argument(
         "--tag",
@@ -93,31 +125,39 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    point = run_benchmark()
+    cells = run_benchmarks()
+    # Top-level fig8 stats keep the BENCH_PR*.json series comparable with
+    # the PR 1 point; the per-figure cells carry the wider gate.
+    point = dict(cells["fig8"])
     point["tag"] = args.tag
+    point["cells"] = cells
     output_path = REPO_ROOT / f"BENCH_{args.tag}.json"
     output_path.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
-    print(f"fig8 representative cell: median {point['median_s'] * 1000:.1f} ms "
-          f"mean {point['mean_s'] * 1000:.1f} ms -> {output_path.name}")
+    for fig, cell in cells.items():
+        print(f"{fig} representative cell: median {cell['median_s'] * 1000:.1f} ms "
+              f"mean {cell['mean_s'] * 1000:.1f} ms")
+    print(f"trajectory point -> {output_path.name}")
 
-    if args.update_baseline or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(
-            json.dumps(point, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"baseline written to {BASELINE_PATH.relative_to(REPO_ROOT)}")
-        return 0
-
-    baseline = json.loads(BASELINE_PATH.read_text())
-    allowed = baseline["median_s"] * (1.0 + TOLERANCE)
-    ratio = point["median_s"] / baseline["median_s"]
-    print(f"baseline median {baseline['median_s'] * 1000:.1f} ms; "
-          f"this run is {ratio:.2f}x the baseline "
-          f"(fail threshold {1.0 + TOLERANCE:.2f}x)")
-    if point["median_s"] > allowed:
-        print("REGRESSION: median processing time exceeds tolerance",
-              file=sys.stderr)
+    failed = []
+    for fig, cell in cells.items():
+        path = baseline_path(fig)
+        if args.update_baseline or not path.exists():
+            path.write_text(json.dumps(cell, indent=2, sort_keys=True) + "\n")
+            print(f"{fig}: baseline written to {path.relative_to(REPO_ROOT)}")
+            continue
+        baseline = json.loads(path.read_text())
+        allowed = baseline["median_s"] * (1.0 + TOLERANCE)
+        ratio = cell["median_s"] / baseline["median_s"]
+        print(f"{fig}: baseline median {baseline['median_s'] * 1000:.1f} ms; "
+              f"this run is {ratio:.2f}x the baseline "
+              f"(fail threshold {1.0 + TOLERANCE:.2f}x)")
+        if cell["median_s"] > allowed:
+            failed.append(fig)
+    if failed:
+        print(f"REGRESSION: median processing time exceeds tolerance "
+              f"for {', '.join(failed)}", file=sys.stderr)
         return 1
-    print("OK: within tolerance")
+    print("OK: all gated cells within tolerance")
     return 0
 
 

@@ -93,11 +93,11 @@ def test_fig8_paper_throughput_claims(sweep):
 
 def test_fig8_benchmark_representative_cell(benchmark):
     # Steady-state measurement: one warmup round populates the encode/
-    # digest caches and import-time state, then the mean of three rounds
+    # digest caches and import-time state, then the median of five rounds
     # is the trajectory point benchmarks/compare.py gates on.
     result = benchmark.pedantic(
         lambda: run_two_tier(4, 4, total_calls=20, cpu_ms=6),
-        rounds=3,
+        rounds=5,
         warmup_rounds=1,
         iterations=1,
     )

@@ -86,9 +86,12 @@ def test_fig9_shape_ordering_by_replication(sweep):
 
 
 def test_fig9_benchmark_representative_cell(benchmark):
+    # Steady-state measurement (one warmup round, median of five):
+    # benchmarks/compare.py gates this cell's median at 10%.
     result = benchmark.pedantic(
         lambda: run_async_window(4, 4, window=10, total_calls=40),
-        rounds=1,
+        rounds=5,
+        warmup_rounds=1,
         iterations=1,
     )
     assert result.completed == 40

@@ -8,65 +8,43 @@ confirming shipment, compensating on failure — while consulting the
 replica-agreed clock. Every one of its 4 replicas executes the saga
 identically.
 
-Run:  python examples/soa_orchestration.py
+The whole system is one declarative scenario
+(:func:`repro.scenario.presets.orchestration_scenario`), so the same
+deployment runs on any substrate:
+
+    python examples/soa_orchestration.py                    # simulator
+    python examples/soa_orchestration.py --runtime process  # real processes
 """
 
+import argparse
 from collections import Counter
 
-from repro.apps.orchestrator import (
-    inventory_app,
-    orchestrator_app,
-    shipping_app,
-)
-from repro.apps.payment import bank_app
-from repro.ws.deployment import Deployment
-
-ORDERS = [
-    {"order_id": 101, "item": "laptop", "qty": 1, "card": "4-alice",
-     "amount_cents": 120_000},
-    {"order_id": 102, "item": "laptop", "qty": 5, "card": "4-bob",
-     "amount_cents": 600_000},   # not enough stock
-    {"order_id": 103, "item": "phone", "qty": 1, "card": "4-carol",
-     "amount_cents": 80_000_00},  # card limit exceeded -> compensation
-    {"order_id": 104, "item": "phone", "qty": 1, "card": "4-dave",
-     "amount_cents": 70_000},
-]
+from repro.scenario.presets import DEMO_ORDERS, orchestration_scenario
+from repro.scenario.runtime import run_scenario
 
 
 def main() -> None:
-    deployment = Deployment(name="soa-orchestration")
-    deployment.declare("orchestrator", 4)
-    deployment.declare("inventory", 4)
-    deployment.declare("payment", 4)
-    deployment.declare("shipping", 1)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runtime", default="sim",
+                        choices=("sim", "threaded", "process"))
+    args = parser.parse_args()
 
-    deployment.add_service("inventory",
-                           inventory_app({"laptop": 2, "phone": 1}))
-    deployment.add_service("payment",
-                           lambda: bank_app(card_limit_cents=500_000))
-    deployment.add_service("shipping", shipping_app())
+    spec = orchestration_scenario(orders=DEMO_ORDERS)
+    metrics = run_scenario(spec, runtime=args.runtime)
 
-    log: list = []
-    deployment.add_service(
-        "orchestrator",
-        orchestrator_app(
-            ORDERS,
-            inventory_endpoint="inventory",
-            payment_endpoint="payment",
-            shipping_endpoint="shipping",
-            log=log,
-        ),
-    )
-
-    deployment.run(seconds=180)
-
-    # Each saga entry appears once per orchestrator replica.
+    # The probe reports one [order_id, outcome, started_at_ms] entry per
+    # completed saga, repeated once per orchestrator replica.
+    log = [tuple(entry) for entry in
+           metrics.services["orchestrator"].app["sagas"]]
     counts = Counter(log)
-    print("saga outcomes (agreed start time in ms since epoch):")
+    print(f"saga outcomes on runtime {args.runtime!r} "
+          "(agreed start time in ms since epoch):")
     for (order_id, outcome, started_at), copies in sorted(counts.items()):
         print(f"   order {order_id}: {outcome:<17s} started={started_at} "
               f"(identical on {copies} replicas)")
-    assert all(copies == 4 for copies in counts.values())
+    replicas = metrics.services["orchestrator"].n
+    if args.runtime == "sim":
+        assert all(copies == replicas for copies in counts.values())
     outcomes = {oid: outcome for oid, outcome, _ in log}
     assert outcomes == {
         101: "shipped",
@@ -74,7 +52,8 @@ def main() -> None:
         103: "payment-declined",
         104: "shipped",
     }
-    print("OK: all four orchestrator replicas drove the saga identically.")
+    print(f"OK: all {replicas} orchestrator replicas drove the saga "
+          "identically.")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@ Architectures" (Pallemulle & Goldman, WUCSE-2007-53 / ICDCS 2008):
 - ``repro.soap``       -- a minimal SOAP / WS-Addressing engine (Axis2 stand-in).
 - ``repro.ws``         -- the Perpetual-WS middleware and public API.
 - ``repro.sim``        -- deterministic discrete-event simulation substrate.
+- ``repro.scenario``   -- declarative deployment: one ScenarioSpec, three
+  runtimes (sim / threaded / process).
 - ``repro.tpcw``       -- the TPC-W macro-benchmark (bookstore, RBEs, PGE, bank).
 
 The top-level package re-exports the public API a downstream user needs to
@@ -33,6 +35,12 @@ from repro.perpetual.executor import (
     SendReply,
     Timestamp,
 )
+from repro.scenario import (
+    ScenarioBuilder,
+    ScenarioSpec,
+    get_runtime,
+    run_scenario,
+)
 from repro.ws.api import MessageContext, MessageHandler, Utils
 from repro.ws.deployment import Deployment, ServiceDeployment
 
@@ -51,12 +59,16 @@ __all__ = [
     "ReplicationConfig",
     "ReproError",
     "RequestAborted",
+    "ScenarioBuilder",
+    "ScenarioSpec",
     "Send",
     "SendReply",
     "ServiceDeployment",
     "ServiceSpec",
     "Timestamp",
     "Utils",
+    "get_runtime",
+    "run_scenario",
 ]
 
 __version__ = "1.0.0"

@@ -304,6 +304,13 @@ def clear_wire_caches() -> None:
     Finished simulations otherwise pin up to one cache-limit of message
     objects per memo; call between runs when memory or test isolation
     matters.
+
+    This is also the documented **process-start hook**: every cache here
+    is keyed on object identity, so entries must never cross a process
+    boundary. A worker forked while the parent's caches were warm would
+    otherwise serve lookups against the parent's object graph —
+    :mod:`repro.scenario.process` calls this first thing in every worker
+    bootstrap, and any other multi-process host must do the same.
     """
     _blob_cache.clear()
     for memo in _MEMO_REGISTRY:

@@ -1,21 +1,30 @@
-"""Command-line entry point: regenerate any paper figure.
+"""Command-line entry point: regenerate figures, or run any scenario.
 
-Usage::
-
-    python -m repro.experiments fig7          # full Figure 7 grid
-    python -m repro.experiments fig8 --calls 40
-    python -m repro.experiments fig9
-    python -m repro.experiments fig6 --duration 30
-    python -m repro.experiments fig2
-    python -m repro.experiments ablations
-
-Prints the same series the corresponding benchmark regenerates; useful
-for quick sweeps without the pytest harness.
+``python -m repro.experiments <figure>`` prints the series the
+corresponding benchmark regenerates; ``run`` executes a declarative
+scenario — a preset or a JSON file — on any substrate (``sim``,
+``threaded``, or ``process``). See ``--help`` for one worked example per
+figure.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+
+_EXAMPLES = """\
+examples (one per figure, plus the scenario runner):
+  fig2:  python -m repro.experiments fig2
+  fig6:  python -m repro.experiments fig6 --duration 30 --rbes 7 21
+  fig7:  python -m repro.experiments fig7 --calls 80 --groups 1 4 7 10
+  fig8:  python -m repro.experiments fig8 --calls 40 --groups 1 4
+  fig9:  python -m repro.experiments fig9 --calls 120
+  abl.:  python -m repro.experiments ablations --calls 60
+  run:   python -m repro.experiments run --preset echo-parity --runtime process
+         python -m repro.experiments run --preset tpcw-small --runtime sim
+         python -m repro.experiments run --preset two-tier --dump > t.json
+         python -m repro.experiments run --scenario t.json --runtime threaded
+"""
 
 
 def _fig2(args) -> None:
@@ -79,19 +88,58 @@ def _ablations(args) -> None:
         )
 
 
+def _run(args) -> None:
+    from repro.scenario.presets import PRESETS, preset
+    from repro.scenario.runtime import run_scenario
+    from repro.scenario.spec import ScenarioSpec
+
+    if args.scenario is not None:
+        with open(args.scenario, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    elif args.preset is not None:
+        spec = preset(args.preset)
+    else:
+        raise SystemExit(
+            "run: pass --scenario <file.json> or --preset "
+            f"<{'|'.join(sorted(PRESETS))}>"
+        )
+    if args.duration is not None:
+        spec = spec.with_(duration_s=args.duration)
+    if args.dump:
+        print(spec.to_json(indent=2))
+        return
+
+    print(f"scenario {spec.name!r} on runtime {args.runtime!r} ...",
+          file=sys.stderr)
+    metrics = run_scenario(spec, runtime=args.runtime)
+    print(f"scenario={metrics.scenario} runtime={metrics.runtime} "
+          f"processes={metrics.processes} now_us={metrics.now_us}")
+    for name, svc in sorted(metrics.services.items()):
+        print(
+            f"  {name:<12s} n={svc.n:<3d} completed={svc.completed_calls:<6d} "
+            f"aborted={svc.aborted_calls:<4d} served={svc.requests_served:<6d} "
+            f"delivered={svc.delivered_requests}"
+        )
+        if svc.app:
+            print(f"  {'':<12s} app={svc.app}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
-        description="Regenerate figures from the Perpetual-WS paper.",
+        description="Regenerate figures from the Perpetual-WS paper, or "
+        "run a declarative scenario on any substrate.",
+        epilog=_EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    sub = parser.add_subparsers(dest="figure", required=True)
+    sub = parser.add_subparsers(dest="command", required=True)
 
-    handlers = {
+    figure_handlers = {
         "fig2": _fig2, "fig6": _fig6, "fig7": _fig7,
         "fig8": _fig8, "fig9": _fig9, "ablations": _ablations,
     }
-    for name in handlers:
-        p = sub.add_parser(name)
+    for name in figure_handlers:
+        p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--calls", type=int, default=100,
                        help="logical calls per configuration")
         p.add_argument("--duration", type=float, default=45.0,
@@ -101,8 +149,24 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--rbes", type=int, nargs="+",
                        default=[7, 21, 42], help="RBE counts (fig6)")
 
+    run_parser = sub.add_parser(
+        "run", help="run a ScenarioSpec on sim, threaded, or process"
+    )
+    run_parser.add_argument("--scenario", metavar="FILE",
+                            help="scenario JSON document to execute")
+    run_parser.add_argument("--preset",
+                            help="named preset scenario (see epilog)")
+    run_parser.add_argument("--runtime", default="sim",
+                            choices=("sim", "threaded", "process"),
+                            help="substrate to execute on (default: sim)")
+    run_parser.add_argument("--duration", type=float, default=None,
+                            help="override the scenario's run budget")
+    run_parser.add_argument("--dump", action="store_true",
+                            help="print the scenario JSON instead of running")
+
     args = parser.parse_args(argv)
-    handlers[args.figure](args)
+    handlers = dict(figure_handlers, run=_run)
+    handlers[args.command](args)
     return 0
 
 

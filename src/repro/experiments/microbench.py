@@ -5,6 +5,12 @@ service, both deployed with Perpetual-WS, with throughput and completion
 time measured at the calling service (replica 0's driver, as the paper
 records at the calling web service).
 
+Every cell is a declarative scenario — built by
+:func:`repro.scenario.presets.two_tier_scenario` and executed through the
+substrate-agnostic :func:`repro.scenario.run_scenario` — so the same
+sweep that runs deterministically on the simulator can be pointed at the
+threaded or multi-process runtime with the ``runtime`` argument.
+
 - Figure 7: ``run_two_tier`` with null requests over the
   {1,4,7,10} x {1,4,7,10} replication grid;
 - Figure 8: ``run_two_tier`` with ``cpu_ms`` request processing time swept
@@ -17,17 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.counter import counter_app
-from repro.apps.digest import digest_app
-from repro.apps.workloads import (
-    CompletionRecorder,
-    async_window_caller,
-    sync_closed_loop_caller,
-)
-from repro.common.encoding import clear_wire_caches
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
+from repro.scenario.presets import two_tier_scenario
+from repro.scenario.runtime import run_scenario
 from repro.sim.kernel import US_PER_S
-from repro.ws.deployment import Deployment
 
 # Replication degrees measured by the paper's micro-benchmarks.
 PAPER_GROUP_SIZES = (1, 4, 7, 10)
@@ -63,28 +62,35 @@ class MicrobenchResult:
 def _run(
     n_calling: int,
     n_target: int,
-    caller_factory,
-    target_factory,
     total_calls: int,
     window: int,
     cpu_ms: int,
     cost_model: CryptoCostModel,
+    runtime: str = "sim",
+    asynchronous: bool = False,
 ) -> MicrobenchResult:
-    # Every cell starts with cold wire caches: sweeps measure each
-    # configuration under equal cache state, and dead message graphs from
-    # earlier cells are released instead of pinned by the global memos.
-    clear_wire_caches()
-    deployment = Deployment(name=f"micro-{n_calling}-{n_target}-{window}-{cpu_ms}")
-    deployment.declare("caller", n_calling)
-    deployment.declare("target", n_target)
-    deployment.add_service("target", target_factory, cost_model=cost_model)
-    caller = deployment.add_service("caller", caller_factory, cost_model=cost_model)
-    deployment.run(seconds=MAX_SIM_SECONDS)
+    spec = two_tier_scenario(
+        n_calling=n_calling,
+        n_target=n_target,
+        total_calls=total_calls,
+        window=window,
+        cpu_ms=cpu_ms,
+        # Self-describing model parameters: the spec carries the full
+        # cost model, so custom models reach spawned worker processes.
+        crypto=cost_model.name,
+        crypto_params={
+            "sign_us": cost_model.sign_us,
+            "verify_us": cost_model.verify_us,
+            "per_receiver_us": cost_model.per_receiver_us,
+        },
+        duration_s=MAX_SIM_SECONDS,
+        asynchronous=asynchronous,
+    )
+    metrics = run_scenario(spec, runtime=runtime)
 
-    driver = caller.group.drivers[0]
-    completed = driver.completed_calls
-    start_us = driver.first_issue_us or 0
-    duration_us = max(driver.last_completion_us - start_us, 1)
+    caller = metrics.services["caller"]
+    completed = caller.completed_calls
+    duration_us = max(caller.last_completion_us - caller.first_issue_us, 1)
     duration_s = duration_us / US_PER_S
     throughput = completed / duration_s if completed else 0.0
     ms_per_request = (duration_us / 1000.0 / completed) if completed else float("inf")
@@ -94,7 +100,7 @@ def _run(
         window=window,
         cpu_ms=cpu_ms,
         completed=completed,
-        aborted=driver.aborted_calls,
+        aborted=caller.aborted_calls,
         duration_s=duration_s,
         throughput_rps=throughput,
         ms_per_request=ms_per_request,
@@ -107,31 +113,21 @@ def run_two_tier(
     total_calls: int = DEFAULT_CALLS,
     cpu_ms: int = 0,
     cost_model: CryptoCostModel = MAC_COST_MODEL,
+    runtime: str = "sim",
 ) -> MicrobenchResult:
     """Closed-loop synchronous two-tier benchmark (Figures 7 and 8).
 
     ``cpu_ms == 0`` uses the increment null-operation service; positive
     values use the digest service burning that much CPU per request.
     """
-    recorder = CompletionRecorder()
-    if cpu_ms > 0:
-        target_factory = digest_app
-        body = {"cpu_us": cpu_ms * 1000}
-    else:
-        target_factory = counter_app
-        body = {}
-    caller_factory = sync_closed_loop_caller(
-        target="target", total_calls=total_calls, recorder=recorder, body=body
-    )
     return _run(
         n_calling=n_calling,
         n_target=n_target,
-        caller_factory=caller_factory,
-        target_factory=target_factory,
         total_calls=total_calls,
         window=1,
         cpu_ms=cpu_ms,
         cost_model=cost_model,
+        runtime=runtime,
     )
 
 
@@ -142,44 +138,34 @@ def run_async_window(
     total_calls: int = DEFAULT_CALLS,
     cpu_ms: int = 0,
     cost_model: CryptoCostModel = MAC_COST_MODEL,
+    runtime: str = "sim",
 ) -> MicrobenchResult:
     """Windowed asynchronous two-tier benchmark (Figure 9)."""
-    recorder = CompletionRecorder()
-    if cpu_ms > 0:
-        target_factory = digest_app
-        body = {"cpu_us": cpu_ms * 1000}
-    else:
-        target_factory = counter_app
-        body = {}
-    caller_factory = async_window_caller(
-        target="target",
-        total_calls=total_calls,
-        window=window,
-        recorder=recorder,
-        body=body,
-    )
     return _run(
         n_calling=n_calling,
         n_target=n_target,
-        caller_factory=caller_factory,
-        target_factory=target_factory,
         total_calls=total_calls,
         window=window,
         cpu_ms=cpu_ms,
         cost_model=cost_model,
+        runtime=runtime,
+        asynchronous=True,
     )
 
 
 def figure7_series(
     group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
     total_calls: int = DEFAULT_CALLS,
+    runtime: str = "sim",
 ) -> list[MicrobenchResult]:
     """The full Figure 7 grid: throughput vs n_c for each n_t."""
     results = []
     for n_target in group_sizes:
         for n_calling in group_sizes:
             results.append(
-                run_two_tier(n_calling, n_target, total_calls=total_calls)
+                run_two_tier(
+                    n_calling, n_target, total_calls=total_calls, runtime=runtime
+                )
             )
     return results
 
@@ -188,13 +174,16 @@ def figure8_series(
     group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
     cpu_points_ms: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20),
     total_calls: int = DEFAULT_CALLS,
+    runtime: str = "sim",
 ) -> list[MicrobenchResult]:
     """The Figure 8 sweep: completion time vs processing CPU time."""
     results = []
     for n in group_sizes:
         for cpu_ms in cpu_points_ms:
             results.append(
-                run_two_tier(n, n, total_calls=total_calls, cpu_ms=cpu_ms)
+                run_two_tier(
+                    n, n, total_calls=total_calls, cpu_ms=cpu_ms, runtime=runtime
+                )
             )
     return results
 
@@ -203,12 +192,15 @@ def figure9_series(
     group_sizes: tuple[int, ...] = (4, 7, 10),
     windows: tuple[int, ...] = PAPER_WINDOWS,
     total_calls: int = DEFAULT_CALLS,
+    runtime: str = "sim",
 ) -> list[MicrobenchResult]:
     """The Figure 9 sweep: throughput vs parallel async window size."""
     results = []
     for n in group_sizes:
         for window in windows:
             results.append(
-                run_async_window(n, n, window=window, total_calls=total_calls)
+                run_async_window(
+                    n, n, window=window, total_calls=total_calls, runtime=runtime
+                )
             )
     return results

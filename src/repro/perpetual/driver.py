@@ -113,6 +113,16 @@ class DriverNode(ProtocolNode):
     def voter(self) -> str:
         return voter_name(self.service, self.index)
 
+    @property
+    def in_flight_calls(self) -> int:
+        """Out-calls issued but not yet settled (completed or aborted).
+
+        Real-parallelism runtimes use this as the workload-done signal: a
+        scenario is settled when every live driver reports zero and the
+        message queues are drained.
+        """
+        return len(self._outstanding)
+
     def _own_voters(self) -> list[str]:
         spec = self.topology.spec(self.service)
         return [voter_name(self.service, i) for i in range(spec.n)]

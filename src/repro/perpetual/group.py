@@ -72,6 +72,45 @@ class ServiceGroup:
         return self.voters[0].delivered_requests
 
 
+def build_replica(
+    topology: Topology,
+    service: str,
+    index: int,
+    keys: KeyStore,
+    app_factory: AppFactory,
+    cost_model: CryptoCostModel = MAC_COST_MODEL,
+    clbft_overrides: dict | None = None,
+    retransmit_timeout_us: int | None = None,
+) -> tuple[VoterNode, DriverNode]:
+    """One replica's co-located voter/driver pair, unattached.
+
+    The single construction path every substrate shares — the simulator,
+    the threaded cluster, and multi-process workers all build replicas
+    here and differ only in the environment they attach.
+    """
+    voter = VoterNode(
+        topology=topology,
+        service=service,
+        index=index,
+        keys=keys,
+        cost_model=cost_model,
+        clbft_overrides=clbft_overrides,
+    )
+    driver_kwargs: dict[str, Any] = {}
+    if retransmit_timeout_us is not None:
+        driver_kwargs["retransmit_timeout_us"] = retransmit_timeout_us
+    driver = DriverNode(
+        topology=topology,
+        service=service,
+        index=index,
+        keys=keys,
+        app_factory=app_factory,
+        cost_model=cost_model,
+        **driver_kwargs,
+    )
+    return voter, driver
+
+
 def deploy_service(
     sim: Simulator,
     topology: Topology,
@@ -96,31 +135,18 @@ def deploy_service(
     drivers: list[DriverNode] = []
     for index in range(spec.n):
         host = hosts[index] if hosts is not None else f"{service}/h{index}"
-        voter = VoterNode(
-            topology=topology,
-            service=service,
-            index=index,
-            keys=keys,
-            cost_model=cost_model,
-            clbft_overrides=clbft_overrides,
-        )
-        env = sim.add_node(voter_name(service, index), voter, host=host)
-        voter.attach(env)
-        voters.append(voter)
-
-        driver_kwargs: dict[str, Any] = {}
-        if retransmit_timeout_us is not None:
-            driver_kwargs["retransmit_timeout_us"] = retransmit_timeout_us
-        drv = DriverNode(
+        voter, drv = build_replica(
             topology=topology,
             service=service,
             index=index,
             keys=keys,
             app_factory=app_factory,
             cost_model=cost_model,
-            **driver_kwargs,
+            clbft_overrides=clbft_overrides,
+            retransmit_timeout_us=retransmit_timeout_us,
         )
-        env = sim.add_node(driver_name(service, index), drv, host=host)
-        drv.attach(env)
+        voter.attach(sim.add_node(voter_name(service, index), voter, host=host))
+        voters.append(voter)
+        drv.attach(sim.add_node(driver_name(service, index), drv, host=host))
         drivers.append(drv)
     return ServiceGroup(service=service, voters=voters, drivers=drivers)

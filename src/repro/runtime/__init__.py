@@ -1,12 +1,19 @@
-"""The threaded in-process runtime.
+"""The threaded in-process runtime substrate.
 
-The discrete-event simulator (:mod:`repro.sim`) runs every experiment;
-this runtime runs the *same protocol nodes* on real OS threads with
-queue-based message passing, demonstrating that the sans-IO protocol
-layer is substrate-independent (the ChannelAdapter / Connection split of
-paper section 2.1.2) and giving the integration tests a genuinely
-concurrent environment — messages race, timers fire asynchronously, and
-the protocol must still converge.
+This package hosts the *same protocol nodes* the simulator runs on real
+OS threads with queue-based message passing, demonstrating that the
+sans-IO protocol layer is substrate-independent (the ChannelAdapter /
+Connection split of paper section 2.1.2) and giving the integration
+tests a genuinely concurrent environment — messages race, timers fire
+asynchronously, and the protocol must still converge.
+
+Deployments should not wire this cluster by hand: the single entry point
+is the declarative scenario API — build a
+:class:`repro.scenario.ScenarioSpec` and execute it with
+``run_scenario(spec, runtime="threaded")`` (see
+:class:`repro.scenario.threaded.ThreadedRuntime`, which drives this
+cluster; ``runtime="process"`` selects the sibling multi-process
+substrate in :mod:`repro.scenario.process`).
 """
 
 from repro.runtime.cluster import ThreadedCluster

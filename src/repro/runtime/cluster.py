@@ -9,6 +9,10 @@ exposes the same duck-typed surface as :class:`repro.sim.kernel.SimNodeEnv`
 ``charge`` is a no-op here: real CPU time is real. Determinism holds per
 replica (the protocol guarantees it), but event interleaving across nodes
 is genuinely racy — which is the point of testing on this substrate.
+
+This module is the substrate only; deploy onto it through the scenario
+API (:mod:`repro.scenario`, ``runtime="threaded"``) rather than wiring
+nodes by hand.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ class _TimerWheel:
     def set_timer(self, node_key: str, tag: Any, delay_us: int,
                   fire: Callable[[Any], None]) -> None:
         deadline = time.monotonic() + delay_us / 1_000_000.0
-        entry = {"tag": tag, "fire": fire, "cancelled": False}
+        entry = {"key": node_key, "tag": tag, "fire": fire, "cancelled": False}
         with self._cv:
             old = self._entries.pop((node_key, tag), None)
             if old is not None:
@@ -52,6 +56,11 @@ class _TimerWheel:
             entry = self._entries.pop((node_key, tag), None)
             if entry is not None:
                 entry["cancelled"] = True
+
+    def armed_count(self) -> int:
+        """Timers currently armed (set, not yet fired or cancelled)."""
+        with self._cv:
+            return len(self._entries)
 
     def stop(self) -> None:
         with self._cv:
@@ -75,6 +84,10 @@ class _TimerWheel:
                 heapq.heappop(self._heap)
                 if entry["cancelled"]:
                     continue
+                # A fired timer is no longer armed (unless re-armed since,
+                # in which case the mapping already points elsewhere).
+                if self._entries.get((entry["key"], entry["tag"])) is entry:
+                    del self._entries[(entry["key"], entry["tag"])]
                 fire, tag = entry["fire"], entry["tag"]
             try:
                 fire(tag)
@@ -204,13 +217,21 @@ class ThreadedCluster:
     def errors(self) -> list[BaseException]:
         return [e for w in self._workers.values() for e in w.errors]
 
+    def mailboxes_empty(self) -> bool:
+        """True when no node has queued messages or timer firings."""
+        return all(w.mailbox.empty() for w in self._workers.values())
+
+    def timers_armed(self) -> int:
+        """Timers currently armed across all nodes."""
+        return self.timers.armed_count()
+
     def await_quiescent(self, settle_s: float = 0.05, timeout_s: float = 10.0) -> bool:
         """Wait until every mailbox stays empty for ``settle_s``."""
         deadline = time.monotonic() + timeout_s
         while time.monotonic() < deadline:
-            if all(w.mailbox.empty() for w in self._workers.values()):
+            if self.mailboxes_empty():
                 time.sleep(settle_s)
-                if all(w.mailbox.empty() for w in self._workers.values()):
+                if self.mailboxes_empty():
                     return True
             else:
                 time.sleep(0.005)

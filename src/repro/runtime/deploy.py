@@ -11,7 +11,7 @@ from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.keys import KeyStore
 from repro.perpetual.driver import DriverNode
 from repro.perpetual.executor import AppFactory
-from repro.perpetual.group import ServiceGroup, Topology
+from repro.perpetual.group import ServiceGroup, Topology, build_replica
 from repro.perpetual.voter import VoterNode, driver_name, voter_name
 from repro.runtime.cluster import ThreadedCluster
 
@@ -31,28 +31,18 @@ def deploy_threaded_service(
     voters: list[VoterNode] = []
     drivers: list[DriverNode] = []
     for index in range(spec.n):
-        voter = VoterNode(
-            topology=topology,
-            service=service,
-            index=index,
-            keys=keys,
-            cost_model=cost_model,
-            clbft_overrides=clbft_overrides,
-        )
-        env = cluster.add_node(voter_name(service, index), voter)
-        voter.attach(env)
-        voters.append(voter)
-
-        driver = DriverNode(
+        voter, driver = build_replica(
             topology=topology,
             service=service,
             index=index,
             keys=keys,
             app_factory=app_factory,
             cost_model=cost_model,
+            clbft_overrides=clbft_overrides,
             retransmit_timeout_us=retransmit_timeout_us,
         )
-        env = cluster.add_node(driver_name(service, index), driver)
-        driver.attach(env)
+        voter.attach(cluster.add_node(voter_name(service, index), voter))
+        voters.append(voter)
+        driver.attach(cluster.add_node(driver_name(service, index), driver))
         drivers.append(driver)
     return ServiceGroup(service=service, voters=voters, drivers=drivers)

@@ -1,0 +1,294 @@
+"""The application registry: named, parameterised app factories.
+
+A :class:`~repro.scenario.spec.AppSpec` references applications by
+registry name with JSON-safe parameters, which is what keeps a
+:class:`~repro.scenario.spec.ScenarioSpec` serialisable and lets the
+multi-process runtime rebuild the same application inside a worker
+process from nothing but the spec document.
+
+``build_app`` returns a :class:`BuiltApp`: the WS-level generator factory
+plus an optional *probe* — a zero-argument callable returning JSON-safe
+observability counters (workload completions, TPC-W interaction counts,
+saga logs). Probes are how application-level results travel back through
+:meth:`Runtime.metrics`, including across process boundaries.
+
+Builders lazy-import their application modules so that importing
+:mod:`repro.scenario` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.common.errors import ConfigurationError
+from repro.crypto.cost import (
+    MAC_COST_MODEL,
+    SIGNATURE_COST_MODEL,
+    CryptoCostModel,
+)
+
+WsAppFactory = Callable[[], Generator[Any, Any, None]]
+Probe = Callable[[], dict]
+
+
+@dataclass
+class BuiltApp:
+    """A constructed application: factory plus optional metrics probe."""
+
+    factory: WsAppFactory
+    probe: Probe | None = None
+
+
+_APP_BUILDERS: dict[str, Callable[[dict], BuiltApp]] = {}
+
+
+def register_app(kind: str) -> Callable:
+    """Register a builder: ``(params: dict) -> BuiltApp`` under ``kind``."""
+
+    def decorator(builder: Callable[[dict], BuiltApp]) -> Callable[[dict], BuiltApp]:
+        _APP_BUILDERS[kind] = builder
+        return builder
+
+    return decorator
+
+
+def app_kinds() -> list[str]:
+    return sorted(_APP_BUILDERS)
+
+
+def build_app(spec) -> BuiltApp:
+    """Instantiate the application an :class:`AppSpec` references."""
+    builder = _APP_BUILDERS.get(spec.kind)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown application kind {spec.kind!r} "
+            f"(known: {', '.join(app_kinds())})"
+        )
+    try:
+        return builder(dict(spec.params))
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            f"bad parameters for application {spec.kind!r}: {exc!r}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Crypto cost models (referenced by name from ScenarioSpec.crypto)
+# ---------------------------------------------------------------------------
+
+#: Model names every process (including freshly spawned workers) knows.
+BUILTIN_COST_MODELS = frozenset((MAC_COST_MODEL.name, SIGNATURE_COST_MODEL.name))
+
+_COST_MODELS: dict[str, CryptoCostModel] = {
+    MAC_COST_MODEL.name: MAC_COST_MODEL,
+    SIGNATURE_COST_MODEL.name: SIGNATURE_COST_MODEL,
+}
+
+
+def register_cost_model(model: CryptoCostModel) -> str:
+    """Register ``model`` under its own name; returns the name."""
+    _COST_MODELS[model.name] = model
+    return model.name
+
+
+def resolve_cost_model(name: str, params: dict | None = None) -> CryptoCostModel:
+    """The cost model ``name`` refers to.
+
+    With ``params`` (``sign_us`` / ``verify_us`` / ``per_receiver_us``)
+    the model is constructed directly from them — the self-describing
+    form a :class:`ScenarioSpec` uses so custom models survive the trip
+    into spawned worker processes, where this registry starts empty.
+    """
+    if params is not None:
+        try:
+            return CryptoCostModel(name=name, **params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad crypto cost parameters for {name!r}: {exc}"
+            ) from exc
+    model = _COST_MODELS.get(name)
+    if model is None:
+        raise ConfigurationError(
+            f"unknown crypto cost model {name!r} "
+            f"(known: {', '.join(sorted(_COST_MODELS))})"
+        )
+    return model
+
+
+def scenario_cost_model(spec, decl) -> CryptoCostModel:
+    """The cost model one service of a scenario runs under.
+
+    A per-service ``crypto`` override names a registered model; the
+    scenario-wide default honours ``spec.crypto_params``.
+    """
+    if decl.crypto is not None:
+        return resolve_cost_model(decl.crypto)
+    return resolve_cost_model(spec.crypto, spec.crypto_params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in applications
+# ---------------------------------------------------------------------------
+
+
+@register_app("echo")
+def _build_echo(params: dict) -> BuiltApp:
+    from repro.apps.echo import echo_app
+
+    return BuiltApp(factory=echo_app)
+
+
+@register_app("counter")
+def _build_counter(params: dict) -> BuiltApp:
+    from repro.apps.counter import counter_app
+
+    return BuiltApp(factory=counter_app)
+
+
+@register_app("digest")
+def _build_digest(params: dict) -> BuiltApp:
+    from repro.apps.digest import digest_app
+
+    return BuiltApp(factory=digest_app)
+
+
+def _recorder_probe(recorder) -> Probe:
+    return lambda: {"completed": recorder.completed, "faults": recorder.faults}
+
+
+@register_app("sync_caller")
+def _build_sync_caller(params: dict) -> BuiltApp:
+    from repro.apps.workloads import CompletionRecorder, sync_closed_loop_caller
+
+    recorder = CompletionRecorder()
+    factory = sync_closed_loop_caller(
+        target=params["target"],
+        total_calls=int(params["total_calls"]),
+        recorder=recorder,
+        body=params.get("body") or {},
+        timeout_ms=params.get("timeout_ms"),
+    )
+    return BuiltApp(factory=factory, probe=_recorder_probe(recorder))
+
+
+@register_app("async_caller")
+def _build_async_caller(params: dict) -> BuiltApp:
+    from repro.apps.workloads import CompletionRecorder, async_window_caller
+
+    recorder = CompletionRecorder()
+    factory = async_window_caller(
+        target=params["target"],
+        total_calls=int(params["total_calls"]),
+        window=int(params.get("window", 1)),
+        recorder=recorder,
+        body=params.get("body") or {},
+        timeout_ms=params.get("timeout_ms"),
+    )
+    return BuiltApp(factory=factory, probe=_recorder_probe(recorder))
+
+
+@register_app("bank")
+def _build_bank(params: dict) -> BuiltApp:
+    from repro.apps.payment import DEFAULT_CARD_LIMIT_CENTS, bank_app
+
+    limit = int(params.get("card_limit_cents", DEFAULT_CARD_LIMIT_CENTS))
+    return BuiltApp(factory=lambda: bank_app(card_limit_cents=limit))
+
+
+@register_app("pge")
+def _build_pge(params: dict) -> BuiltApp:
+    from repro.apps.payment import pge_app
+
+    return BuiltApp(
+        factory=pge_app(
+            bank_endpoint=params.get("bank_endpoint", "bank"),
+            synchronous=bool(params.get("synchronous", False)),
+        )
+    )
+
+
+@register_app("bookstore")
+def _build_bookstore(params: dict) -> BuiltApp:
+    from repro.tpcw.bookstore import BookstoreStats, bookstore_app
+    from repro.tpcw.model import BookstoreDatabase
+
+    db = BookstoreDatabase(seed=int(params.get("seed", 11)))
+    stats = BookstoreStats()
+    factory = bookstore_app(
+        db,
+        stats,
+        pge_endpoint=params.get("pge_endpoint", "pge"),
+        synchronous_pge=bool(params.get("synchronous_pge", False)),
+    )
+
+    def probe() -> dict:
+        return {
+            "interactions": stats.interactions,
+            "pge_calls": stats.pge_calls,
+            "approved": stats.approved,
+            "declined": stats.declined,
+        }
+
+    return BuiltApp(factory=factory, probe=probe)
+
+
+@register_app("rbe")
+def _build_rbe(params: dict) -> BuiltApp:
+    from repro.tpcw.interactions import PAPER_MIX, Mix
+    from repro.tpcw.rbe import THINK_TIME_MEAN_US, rbe_app
+
+    mix_data = params.get("mix")
+    if mix_data is None:
+        mix = PAPER_MIX
+    else:
+        mix = Mix(
+            name=mix_data["name"],
+            weights=tuple((page, weight) for page, weight in mix_data["weights"]),
+        )
+    return BuiltApp(
+        factory=rbe_app(
+            rbe_index=int(params["rbe_index"]),
+            bookstore_endpoint=params.get("bookstore_endpoint", "bookstore"),
+            mix=mix,
+            seed=int(params.get("seed", 11)),
+            think_time_mean_us=int(
+                params.get("think_time_mean_us", THINK_TIME_MEAN_US)
+            ),
+        )
+    )
+
+
+@register_app("orchestrator")
+def _build_orchestrator(params: dict) -> BuiltApp:
+    from repro.apps.orchestrator import orchestrator_app
+
+    log: list = []
+    factory = orchestrator_app(
+        orders=list(params["orders"]),
+        inventory_endpoint=params.get("inventory_endpoint", "inventory"),
+        payment_endpoint=params.get("payment_endpoint", "payment"),
+        shipping_endpoint=params.get("shipping_endpoint", "shipping"),
+        log=log,
+    )
+
+    def probe() -> dict:
+        # One [order_id, outcome, started_at_ms] entry per completed saga,
+        # repeated once per orchestrator replica (the demo counts copies).
+        return {"sagas": [list(entry) for entry in log]}
+
+    return BuiltApp(factory=factory, probe=probe)
+
+
+@register_app("inventory")
+def _build_inventory(params: dict) -> BuiltApp:
+    from repro.apps.orchestrator import inventory_app
+
+    return BuiltApp(factory=inventory_app(dict(params.get("stock") or {})))
+
+
+@register_app("shipping")
+def _build_shipping(params: dict) -> BuiltApp:
+    from repro.apps.orchestrator import shipping_app
+
+    return BuiltApp(factory=shipping_app())

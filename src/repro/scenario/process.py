@@ -1,0 +1,628 @@
+"""The multi-process substrate: one OS process per voter/driver pair.
+
+``ProcessRuntime`` places each replica's co-located voter/driver pair in
+its own ``multiprocessing`` process, exactly the paper's placement of
+both halves on one machine. Everything that crosses a process boundary
+is a fused-codec :class:`~repro.transport.wire.WireEnvelope` — PR 1 made
+that codec the full serialisation boundary, so protocol code runs
+unchanged; local voter<->driver traffic stays inside the worker.
+
+Wiring:
+
+- the parent owns one duplex pipe per worker and runs two threads: a
+  *router* that drains every worker's outbound frames (so worker sends
+  never block) and an *egress* writer that owns all pipe writes (so a
+  slow worker can stall only the egress queue, never the router — the
+  classic pipe-buffer deadlock cannot form);
+- protocol frames are ``b"net\\0" + src + b"\\0" + dst + b"\\0" +
+  <canonical envelope bytes>`` — the router reads only the NUL-separated
+  header and forwards the payload opaquely, so routing cost is O(header)
+  rather than a full decode per hop; control frames (``ready`` / ``go``
+  / ``poll`` / ``stats`` / ``stop`` / ``bye``) are small canonical-codec
+  tuples;
+- each worker bootstrap calls
+  :func:`repro.common.encoding.clear_wire_caches` **first**: the decode
+  memos and blob caches are keyed on object identity and must never
+  cross a process boundary (under the default ``fork`` start method the
+  parent's caches arrive in the child's memory otherwise);
+- ``crash`` faults are expressed by never spawning the replica's worker:
+  a crashed machine never speaks.
+
+``run`` polls worker counters until they are stable (quiescence) or the
+wall-clock budget elapses; ``metrics`` performs one fresh poll so the
+numbers are current even after ``run`` returned early.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from collections import deque
+from multiprocessing.connection import Connection, wait as connection_wait
+
+from repro.common.encoding import canonical_encode, clear_wire_caches, decode_payload
+from repro.common.errors import ConfigurationError
+from repro.scenario.runtime import (
+    Runtime,
+    ScenarioMetrics,
+    ServiceMetrics,
+    observer_index,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.transport.wire import WireEnvelope, envelope_from_wire, envelope_to_wire
+
+#: How long deploy() waits for every worker's ready frame.
+READY_TIMEOUT_S = 30.0
+#: Counter-poll cadence during run().
+POLL_INTERVAL_S = 0.15
+#: Consecutive identical counter snapshots that count as quiescence.
+QUIESCENT_POLLS = 3
+
+
+def _frame(*parts) -> bytes:
+    """A control frame: a small canonical-codec tuple."""
+    return canonical_encode(parts)
+
+
+_NET = b"net\x00"
+
+
+def _net_frame(src: str, dst: str, envelope: WireEnvelope) -> bytes:
+    """A protocol frame: routing header + opaque canonical envelope."""
+    return b"".join(
+        (
+            _NET,
+            src.encode("utf-8"), b"\x00",
+            dst.encode("utf-8"), b"\x00",
+            canonical_encode(envelope_to_wire(envelope)),
+        )
+    )
+
+
+def _split_net_frame(data: bytes) -> tuple[str, str, bytes]:
+    _, src, dst, payload = data.split(b"\x00", 3)
+    return src.decode("utf-8"), dst.decode("utf-8"), payload
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerEnv:
+    """Per-node environment with the SimNodeEnv surface, pipe-backed."""
+
+    def __init__(self, host: "_WorkerHost", node_id) -> None:
+        self._host = host
+        self.node_id = node_id
+        self._key = str(node_id)
+
+    def now_us(self) -> int:
+        return int((time.monotonic() - self._host.epoch) * 1_000_000)
+
+    def now_ms(self) -> int:
+        return self.now_us() // 1000
+
+    def charge(self, cpu_us: int) -> None:
+        """No-op: on a real process, CPU time is consumed by running."""
+
+    def send(self, dst, msg, size_bytes: int = 256) -> None:
+        self._host.dispatch(self._key, str(dst), msg)
+
+    def local_deliver(self, dst, msg) -> None:
+        self._host.enqueue_local(self._key, str(dst), msg)
+
+    def set_timer(self, tag, delay_us: int) -> None:
+        self._host.set_timer(self._key, tag, delay_us)
+
+    def cancel_timer(self, tag) -> None:
+        self._host.cancel_timer(self._key, tag)
+
+    def timer_armed(self, tag) -> bool:
+        return (self._key, tag) in self._host.timer_entries
+
+
+class _WorkerHost:
+    """One worker process: a voter/driver pair plus its event loop."""
+
+    def __init__(self, conn: Connection) -> None:
+        self.conn = conn
+        self.epoch = time.monotonic()
+        self.nodes: dict[str, object] = {}
+        self.local: deque[tuple[str, str, object]] = deque()
+        self.timer_heap: list[tuple[float, int, str, object, dict]] = []
+        self.timer_entries: dict[tuple[str, object], dict] = {}
+        self._timer_seq = 0
+        self.errors: list[str] = []
+
+    def add_node(self, node_id, node) -> _WorkerEnv:
+        self.nodes[str(node_id)] = node
+        return _WorkerEnv(self, node_id)
+
+    # -- node-facing plumbing ------------------------------------------------
+
+    def dispatch(self, src: str, dst: str, msg) -> None:
+        if dst in self.nodes:
+            self.local.append((src, dst, msg))
+            return
+        if not isinstance(msg, WireEnvelope):
+            raise ConfigurationError(
+                f"only wire envelopes may cross process boundaries, "
+                f"got {type(msg).__name__} for {dst!r}"
+            )
+        self.conn.send_bytes(_net_frame(src, dst, msg))
+
+    def enqueue_local(self, src: str, dst: str, msg) -> None:
+        self.local.append((src, dst, msg))
+
+    def set_timer(self, node_key: str, tag, delay_us: int) -> None:
+        self.cancel_timer(node_key, tag)
+        entry = {"cancelled": False}
+        self.timer_entries[(node_key, tag)] = entry
+        self._timer_seq += 1
+        heapq.heappush(
+            self.timer_heap,
+            (
+                time.monotonic() + delay_us / 1_000_000.0,
+                self._timer_seq,
+                node_key,
+                tag,
+                entry,
+            ),
+        )
+
+    def cancel_timer(self, node_key: str, tag) -> None:
+        entry = self.timer_entries.pop((node_key, tag), None)
+        if entry is not None:
+            entry["cancelled"] = True
+
+    # -- event loop ----------------------------------------------------------
+
+    def _deliver_local(self) -> None:
+        while self.local:
+            src, dst, msg = self.local.popleft()
+            node = self.nodes.get(dst)
+            if node is None:
+                continue
+            try:
+                node.on_message(src, msg)
+            except Exception as exc:  # a faulty node must not kill the loop
+                self.errors.append(repr(exc))
+        now = time.monotonic()
+        while self.timer_heap and self.timer_heap[0][0] <= now:
+            _, _, node_key, tag, entry = heapq.heappop(self.timer_heap)
+            if entry["cancelled"]:
+                continue
+            self.timer_entries.pop((node_key, tag), None)
+            try:
+                self.nodes[node_key].on_timer(tag)
+            except Exception as exc:
+                self.errors.append(repr(exc))
+
+    def loop(self, stats) -> None:
+        """Serve frames and timers until the parent says stop."""
+        while True:
+            self._deliver_local()
+            if self.local:
+                timeout = 0.0
+            elif self.timer_heap:
+                timeout = min(
+                    max(self.timer_heap[0][0] - time.monotonic(), 0.0), 0.05
+                )
+            else:
+                timeout = 0.05
+            if not self.conn.poll(timeout):
+                continue
+            # Drain every pending frame before handling, so inbound pipe
+            # pressure is released promptly.
+            frames = []
+            try:
+                while True:
+                    frames.append(self.conn.recv_bytes())
+                    if not self.conn.poll(0):
+                        break
+            except (EOFError, OSError):
+                return
+            for data in frames:
+                if data.startswith(_NET):
+                    src, dst, payload = _split_net_frame(data)
+                    self.local.append(
+                        (src, dst, envelope_from_wire(decode_payload(payload)))
+                    )
+                    continue
+                frame = decode_payload(data)
+                kind = frame[0]
+                if kind == "go":
+                    self.epoch = time.monotonic()
+                    for key, node in self.nodes.items():
+                        try:
+                            node.on_start()
+                        except Exception as exc:
+                            self.errors.append(repr(exc))
+                elif kind == "poll":
+                    self.conn.send_bytes(_frame("stats", stats()))
+                elif kind == "stop":
+                    self.conn.send_bytes(_frame("stats", stats()))
+                    self.conn.send_bytes(_frame("bye"))
+                    return
+            self._deliver_local()
+
+
+def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> None:
+    """Bootstrap one voter/driver pair and serve its event loop.
+
+    The first action is :func:`clear_wire_caches` — the documented
+    process-start hook. Identity-keyed decode memos and blob caches
+    inherited over ``fork`` reference the parent's object graph and must
+    never serve lookups in the child.
+    """
+    clear_wire_caches()
+
+    from repro.crypto.keys import KeyStore
+    from repro.perpetual.group import Topology, build_replica
+    from repro.perpetual.voter import driver_name, voter_name
+    from repro.scenario.apps import build_app, scenario_cost_model
+    from repro.ws.adapter import WsAdapter, collecting_executor_factory
+
+    spec = ScenarioSpec.from_json(spec_json)
+    decl = spec.service(service)
+    topology = Topology()
+    for s in spec.services:
+        topology.add(s.name, s.n)
+    keys = KeyStore.for_deployment(spec.name)
+    built = build_app(decl.app)
+
+    host = _WorkerHost(conn)
+    adapters: list[WsAdapter] = []
+    voter, driver = build_replica(
+        topology=topology,
+        service=service,
+        index=index,
+        keys=keys,
+        app_factory=collecting_executor_factory(service, built.factory, adapters),
+        cost_model=scenario_cost_model(spec, decl),
+        clbft_overrides=decl.clbft,
+    )
+    voter.attach(host.add_node(voter_name(service, index), voter))
+    driver.attach(host.add_node(driver_name(service, index), driver))
+
+    def stats() -> dict:
+        data = {
+            "pid": os.getpid(),
+            "in_flight": driver.in_flight_calls,
+            "timers_armed": len(host.timer_entries),
+            "completed_calls": driver.completed_calls,
+            "aborted_calls": driver.aborted_calls,
+            "delivered_requests": voter.delivered_requests,
+            "requests_served": adapters[0].requests_served if adapters else 0,
+            "first_issue_us": driver.first_issue_us or 0,
+            "last_completion_us": driver.last_completion_us,
+            "errors": list(host.errors),
+        }
+        if built.probe is not None:
+            data["app"] = built.probe()
+        return data
+
+    conn.send_bytes(_frame("ready", service, index))
+    try:
+        host.loop(stats)
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class ProcessRuntime(Runtime):
+    """Executes scenarios across real OS processes."""
+
+    name = "process"
+
+    def __init__(self, poll_interval_s: float = POLL_INTERVAL_S) -> None:
+        self._poll_interval_s = poll_interval_s
+        self._spec: ScenarioSpec | None = None
+        self._procs: dict[tuple[str, int], multiprocessing.Process] = {}
+        self._conns: dict[tuple[str, int], Connection] = {}
+        self._alive: dict[Connection, tuple[str, int]] = {}
+        self._stats: dict[tuple[str, int], dict] = {}
+        self._stats_seq: dict[tuple[str, int], int] = {}
+        self._byes: set[tuple[str, int]] = set()
+        self._ready: set[tuple[str, int]] = set()
+        self._lock = threading.Lock()
+        self._egress: "queue.Queue" = queue.Queue()
+        self._stopping = threading.Event()
+        self._router_thread: threading.Thread | None = None
+        self._egress_thread: threading.Thread | None = None
+        self._epoch = 0.0
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(self, spec: ScenarioSpec) -> "ProcessRuntime":
+        spec.validate()
+        for fault in spec.faults:
+            if fault.kind != "crash":
+                raise ConfigurationError(
+                    f"process runtime supports only crash faults, "
+                    f"not {fault.kind!r}"
+                )
+        # Fail fast on anything a worker could not rebuild from the spec
+        # document alone, with the real error — a worker dying during
+        # bootstrap would otherwise surface only as a ready-timeout 30
+        # seconds later. The build_app results are deliberately discarded
+        # (construction is the thorough parameter check).
+        from repro.scenario.apps import (
+            BUILTIN_COST_MODELS,
+            build_app,
+            scenario_cost_model,
+        )
+
+        for decl in spec.services:
+            build_app(decl.app)
+            scenario_cost_model(spec, decl)
+            name = decl.crypto if decl.crypto is not None else spec.crypto
+            self_describing = decl.crypto is None and spec.crypto_params is not None
+            if name not in BUILTIN_COST_MODELS and not self_describing:
+                raise ConfigurationError(
+                    f"cost model {name!r} exists only in this process's "
+                    "registry; worker processes cannot rebuild it — carry "
+                    "it in the spec via crypto_params instead"
+                )
+        crashed = {(f.service, f.index) for f in spec.faults if f.kind == "crash"}
+        self._spec = spec
+        ctx = multiprocessing.get_context()
+        spec_json = spec.to_json()
+        for decl in spec.services:
+            for index in range(decl.n):
+                key = (decl.name, index)
+                if key in crashed:
+                    continue  # a crashed machine is simply never started
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(spec_json, decl.name, index, child_conn),
+                    daemon=True,
+                    name=f"repro-{decl.name}-{index}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs[key] = proc
+                self._conns[key] = parent_conn
+                self._alive[parent_conn] = key
+        self._router_thread = threading.Thread(target=self._route, daemon=True)
+        self._egress_thread = threading.Thread(target=self._drain_egress, daemon=True)
+        self._router_thread.start()
+        self._egress_thread.start()
+
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._ready == set(self._conns):
+                    break
+            time.sleep(0.01)
+        else:
+            missing = sorted(set(self._conns) - self._ready)
+            self.shutdown()
+            raise ConfigurationError(f"workers never became ready: {missing}")
+        self._epoch = time.monotonic()
+        self._broadcast("go")
+        return self
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the worker processes (one per live voter/driver pair)."""
+        return sorted(p.pid for p in self._procs.values())
+
+    # -- parent threads ------------------------------------------------------
+
+    def _owner(self, principal: str) -> tuple[str, int] | None:
+        service, _, tail = principal.rpartition("/")
+        if len(tail) >= 2 and tail[0] in ("v", "d") and tail[1:].isdigit():
+            return (service, int(tail[1:]))
+        return None
+
+    def _route(self) -> None:
+        """Drain every worker's outbound pipe; forward or record frames."""
+        while not self._stopping.is_set():
+            with self._lock:
+                conns = list(self._alive)
+            if not conns:
+                time.sleep(0.02)
+                continue
+            for conn in connection_wait(conns, timeout=0.1):
+                key = self._alive.get(conn)
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    with self._lock:
+                        self._alive.pop(conn, None)
+                    continue
+                if data.startswith(_NET):
+                    # O(header) routing: the envelope bytes stay opaque.
+                    _, dst, _ = _split_net_frame(data)
+                    owner = self._owner(dst)
+                    if owner in self._conns and owner not in self._byes:
+                        self._egress.put((owner, data))
+                    continue
+                frame = decode_payload(data)
+                kind = frame[0]
+                if kind == "stats":
+                    with self._lock:
+                        self._stats[key] = frame[1]
+                        self._stats_seq[key] = self._stats_seq.get(key, 0) + 1
+                elif kind == "ready":
+                    with self._lock:
+                        self._ready.add((frame[1], frame[2]))
+                elif kind == "bye":
+                    with self._lock:
+                        self._byes.add(key)
+                        self._alive.pop(conn, None)
+
+    def _drain_egress(self) -> None:
+        """Single writer for every worker pipe (see module docstring)."""
+        while True:
+            item = self._egress.get()
+            if item is None:
+                return
+            key, data = item
+            conn = self._conns.get(key)
+            if conn is None:
+                continue
+            try:
+                conn.send_bytes(data)
+            except (BrokenPipeError, OSError):
+                pass
+
+    def _broadcast(self, kind: str) -> None:
+        data = _frame(kind)
+        for key in self._conns:
+            if key not in self._byes:
+                self._egress.put((key, data))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until_s: float | None = None) -> None:
+        budget = self._spec.duration_s if until_s is None else until_s
+        deadline = time.monotonic() + budget
+        previous: dict | None = None
+        stable = 0
+        while time.monotonic() < deadline:
+            # No worker exits before the stop broadcast: a dead process
+            # here is a crash, and waiting out the budget on its frozen
+            # counters would mask it.
+            dead = sorted(
+                key for key, proc in self._procs.items()
+                if not proc.is_alive() and key not in self._byes
+            )
+            if dead:
+                raise RuntimeError(f"worker processes died mid-run: {dead}")
+            self._broadcast("poll")
+            time.sleep(self._poll_interval_s)
+            with self._lock:
+                snapshot = {
+                    key: {k: v for k, v in stats.items() if k != "pid"}
+                    for key, stats in self._stats.items()
+                }
+            complete = len(snapshot) == len(self._conns)
+            # Settled = counters stable over consecutive polls AND no
+            # worker reports in-flight out-calls or armed timers (a
+            # crashed primary idles the counters for seconds while view
+            # changes pend; TPC-W think times idle between self-scheduled
+            # events — neither is completion).
+            settled = complete and all(
+                stats.get("in_flight", 0) == 0
+                and stats.get("timers_armed", 0) == 0
+                for stats in snapshot.values()
+            )
+            if settled and snapshot == previous:
+                stable += 1
+                warmed = time.monotonic() - self._epoch >= 1.0
+                if stable >= QUIESCENT_POLLS and warmed:
+                    return
+            else:
+                stable = 0
+            previous = snapshot
+
+    # -- observation ---------------------------------------------------------
+
+    def _refresh_stats(self, timeout_s: float = 2.0) -> None:
+        with self._lock:
+            alive = {self._alive[c] for c in self._alive}
+            baseline = dict(self._stats_seq)
+        if not alive:
+            return
+        self._broadcast("poll")
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if all(
+                    self._stats_seq.get(key, 0) > baseline.get(key, 0)
+                    for key in alive
+                ):
+                    return
+            time.sleep(0.01)
+
+    def metrics(self) -> ScenarioMetrics:
+        self._refresh_stats()
+        with self._lock:
+            stats = {key: dict(value) for key, value in self._stats.items()}
+        services: dict[str, ServiceMetrics] = {}
+        for decl in self._spec.services:
+            # The same observer rule as every substrate (lowest live
+            # replica); fall back to any reporting replica if the
+            # observer's worker has no stats yet.
+            observer = observer_index(self._spec, decl.name)
+            data = stats.get((decl.name, observer))
+            if data is None:
+                indices = [i for (name, i) in stats if name == decl.name]
+                if not indices:
+                    services[decl.name] = ServiceMetrics(n=decl.n)
+                    continue
+                data = stats[(decl.name, min(indices))]
+            services[decl.name] = ServiceMetrics(
+                n=decl.n,
+                completed_calls=data.get("completed_calls", 0),
+                aborted_calls=data.get("aborted_calls", 0),
+                delivered_requests=data.get("delivered_requests", 0),
+                requests_served=data.get("requests_served", 0),
+                first_issue_us=data.get("first_issue_us", 0),
+                last_completion_us=data.get("last_completion_us", 0),
+                app=dict(data.get("app") or {}),
+            )
+        elapsed_us = int((time.monotonic() - self._epoch) * 1_000_000)
+        return ScenarioMetrics(
+            scenario=self._spec.name,
+            runtime=self.name,
+            services=services,
+            now_us=max(elapsed_us, 0),
+            processes=len(self._procs),
+        )
+
+    def worker_errors(self) -> dict[tuple[str, int], list[str]]:
+        """Handler exceptions recorded inside each worker (diagnostics)."""
+        with self._lock:
+            return {
+                key: list(stats.get("errors", ()))
+                for key, stats in self._stats.items()
+                if stats.get("errors")
+            }
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._stopping.is_set():
+            return  # idempotent
+        if self._procs:
+            self._broadcast("stop")
+            # Workers acknowledge with a final stats frame, a bye, and a
+            # pipe close; the router drops closed pipes from the alive set.
+            deadline = time.monotonic() + 3.0
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._alive:
+                        break
+                time.sleep(0.02)
+            for proc in self._procs.values():
+                proc.join(timeout=2.0)
+            for proc in self._procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        # Always stop the parent threads — deploy() starts them even for
+        # a scenario whose crash faults left zero workers to spawn.
+        self._stopping.set()
+        self._egress.put(None)
+        if self._router_thread is not None:
+            self._router_thread.join(timeout=2.0)
+        if self._egress_thread is not None:
+            self._egress_thread.join(timeout=2.0)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = {}

@@ -1,0 +1,140 @@
+"""The substrate-agnostic Runtime protocol.
+
+A :class:`Runtime` executes a :class:`~repro.scenario.spec.ScenarioSpec`:
+
+- ``deploy(spec)``  — construct every service's voter/driver replicas on
+  the substrate (and arm fault injections);
+- ``run(until_s)``  — drive the scenario (simulated seconds on the
+  simulator; a wall-clock cap elsewhere — every substrate stops early at
+  quiescence);
+- ``metrics()``     — substrate-independent observation: per-service
+  protocol counters plus application probe output;
+- ``shutdown()``    — release threads/processes (idempotent).
+
+Three implementations ship: :class:`repro.scenario.sim.SimRuntime`
+(deterministic discrete-event kernel), :class:`repro.scenario.threaded
+.ThreadedRuntime` (one OS thread per node), and
+:class:`repro.scenario.process.ProcessRuntime` (one OS process per
+voter/driver pair, fused-codec envelopes over pipes). ``run_scenario`` is
+the one-call entry point the figure generators, the TPC-W harness, and
+the CLI all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.scenario.spec import ScenarioSpec
+
+RUNTIME_NAMES = ("sim", "threaded", "process")
+
+
+def observer_index(spec: ScenarioSpec, service: str) -> int:
+    """The replica whose driver reports a service's metrics.
+
+    Replica 0 everywhere (the paper records at replica 0), unless a
+    crash fault took it out — then the lowest live index observes, on
+    every substrate identically.
+    """
+    crashed = {
+        f.index for f in spec.faults
+        if f.kind == "crash" and f.service == service
+    }
+    n = spec.service(service).n
+    for index in range(n):
+        if index not in crashed:
+            return index
+    return 0
+
+
+@dataclass
+class ServiceMetrics:
+    """Per-service observation, identical in shape on every substrate."""
+
+    n: int = 0
+    completed_calls: int = 0
+    aborted_calls: int = 0
+    delivered_requests: int = 0
+    requests_served: int = 0
+    first_issue_us: int = 0
+    last_completion_us: int = 0
+    #: Application probe output (workload counters, TPC-W stats, ...).
+    app: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioMetrics:
+    """One scenario run's observation across all services."""
+
+    scenario: str
+    runtime: str
+    services: dict[str, ServiceMetrics] = field(default_factory=dict)
+    now_us: int = 0
+    events_processed: int = 0
+    #: OS processes hosting protocol nodes (1 for in-process substrates).
+    processes: int = 1
+
+    def total_completed(self) -> int:
+        return sum(s.completed_calls for s in self.services.values())
+
+    def total_aborted(self) -> int:
+        return sum(s.aborted_calls for s in self.services.values())
+
+
+class Runtime:
+    """Base class every scenario substrate implements."""
+
+    name = "abstract"
+
+    def deploy(self, spec: ScenarioSpec) -> "Runtime":
+        raise NotImplementedError
+
+    def run(self, until_s: float | None = None) -> None:
+        raise NotImplementedError
+
+    def metrics(self) -> ScenarioMetrics:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def get_runtime(name: str) -> Runtime:
+    """Construct a runtime by name: ``sim``, ``threaded``, or ``process``."""
+    if name == "sim":
+        from repro.scenario.sim import SimRuntime
+
+        return SimRuntime()
+    if name == "threaded":
+        from repro.scenario.threaded import ThreadedRuntime
+
+        return ThreadedRuntime()
+    if name == "process":
+        from repro.scenario.process import ProcessRuntime
+
+        return ProcessRuntime()
+    raise ConfigurationError(
+        f"unknown runtime {name!r} (known: {', '.join(RUNTIME_NAMES)})"
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    runtime: str | Runtime = "sim",
+    until_s: float | None = None,
+) -> ScenarioMetrics:
+    """Deploy, run, observe, and tear down one scenario on one substrate."""
+    rt = get_runtime(runtime) if isinstance(runtime, str) else runtime
+    rt.deploy(spec)
+    try:
+        rt.run(until_s)
+        return rt.metrics()
+    finally:
+        rt.shutdown()

@@ -1,0 +1,362 @@
+"""Declarative scenario descriptions: one spec, any substrate.
+
+A :class:`ScenarioSpec` is the deployment-wide description the paper keeps
+in ``replicas.xml`` (section 5.2), extended with everything our
+experiments used to hand-wire: services with replication degrees and
+application factories (referenced *by name* through the registry in
+:mod:`repro.scenario.apps`, so a spec stays JSON-serialisable), the
+network model, the crypto cost model, fault injections, and a run budget.
+
+Every runtime substrate — the deterministic simulator, the threaded
+cluster, and the multi-process cluster — executes the same spec through
+the :class:`repro.scenario.runtime.Runtime` protocol; nothing in a spec
+names a substrate.
+
+Specs round-trip through JSON (``to_json`` / ``from_json``), which is what
+``python -m repro.experiments run --scenario file.json`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+
+FAULT_KINDS = ("crash", "link")
+NETWORK_KINDS = ("lan", "uniform")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """An application factory reference: registry name plus parameters.
+
+    ``params`` must stay JSON-safe; the registry builder receives it
+    verbatim (in a worker process it is all the builder gets).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServiceDecl:
+    """One replicated service in a scenario."""
+
+    name: str
+    n: int
+    app: AppSpec
+    #: Per-service crypto cost model override (None = scenario-wide model).
+    crypto: str | None = None
+    #: Simulated host placement override (one entry per replica); the
+    #: TPC-W setup runs every RBE on one host. Substrates without host
+    #: modelling ignore it.
+    hosts: tuple[str, ...] | None = None
+    #: CLBFT configuration overrides passed to every replica's voter.
+    clbft: dict | None = None
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The network model: ``lan`` (paper testbed) or ``uniform``.
+
+    ``params`` feed the model constructor (``propagation_us``,
+    ``ns_per_byte``, ``jitter_us`` for lan; ``latency_us`` for uniform).
+    Real-parallelism substrates ignore latency parameters — their network
+    is the actual machine.
+    """
+
+    kind: str = "lan"
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault injection.
+
+    - ``crash``: replica ``index`` of ``service`` never speaks (its
+      voter/driver pair is cut off — or, on the process substrate, never
+      spawned);
+    - ``link``: per-link drop/delay rules, ``params`` holding ``src``,
+      ``dst`` (``"*"`` wildcards), ``drop`` probability and/or
+      ``extra_delay_us`` (simulator only).
+    """
+
+    kind: str
+    service: str = ""
+    index: int = 0
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, substrate-agnostic scenario description."""
+
+    name: str
+    services: tuple[ServiceDecl, ...] = ()
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    #: Scenario-wide crypto cost model name (see repro.scenario.apps).
+    crypto: str = "mac"
+    #: Explicit cost-model parameters (``sign_us``, ``verify_us``,
+    #: ``per_receiver_us``). When set, the model is constructed from the
+    #: spec itself rather than looked up in the process-local registry —
+    #: required for custom models to reach spawned worker processes.
+    crypto_params: dict | None = None
+    faults: tuple[FaultSpec, ...] = ()
+    #: Run budget: simulated seconds on the simulator, a wall-clock cap
+    #: on real-parallelism substrates (both stop earlier at quiescence).
+    duration_s: float = 60.0
+    seed: int = 11
+    #: Optional simulator event budget (None = unbounded).
+    max_events: int | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def service(self, name: str) -> ServiceDecl:
+        for decl in self.services:
+            if decl.name == name:
+                return decl
+        raise ConfigurationError(f"scenario {self.name!r} has no service {name!r}")
+
+    def validate(self) -> "ScenarioSpec":
+        """Check internal consistency; returns self for chaining."""
+        seen: set[str] = set()
+        for decl in self.services:
+            if (not decl.name or "/" in decl.name or "\x00" in decl.name):
+                # "/" delimits principal names (svc/vN), NUL delimits the
+                # process runtime's wire-frame routing header.
+                raise ConfigurationError(
+                    f"invalid service name {decl.name!r}"
+                )
+            if decl.name in seen:
+                raise ConfigurationError(f"duplicate service {decl.name!r}")
+            seen.add(decl.name)
+            if decl.n < 1:
+                raise ConfigurationError(
+                    f"service {decl.name!r} has replication degree {decl.n}"
+                )
+            if decl.hosts is not None and len(decl.hosts) != decl.n:
+                raise ConfigurationError(
+                    f"service {decl.name!r}: {len(decl.hosts)} hosts for "
+                    f"{decl.n} replicas"
+                )
+        if self.network.kind not in NETWORK_KINDS:
+            raise ConfigurationError(
+                f"unknown network kind {self.network.kind!r} "
+                f"(known: {', '.join(NETWORK_KINDS)})"
+            )
+        for fault in self.faults:
+            if fault.kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {fault.kind!r} "
+                    f"(known: {', '.join(FAULT_KINDS)})"
+                )
+            if fault.kind == "crash":
+                decl = self.service(fault.service)
+                if not 0 <= fault.index < decl.n:
+                    raise ConfigurationError(
+                        f"crash fault index {fault.index} out of range for "
+                        f"service {fault.service!r} (n={decl.n})"
+                    )
+        return self
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "services": [
+                {
+                    "name": s.name,
+                    "n": s.n,
+                    "app": {"kind": s.app.kind, "params": s.app.params},
+                    "crypto": s.crypto,
+                    "hosts": list(s.hosts) if s.hosts is not None else None,
+                    "clbft": s.clbft,
+                }
+                for s in self.services
+            ],
+            "network": {"kind": self.network.kind, "params": self.network.params},
+            "crypto": self.crypto,
+            "crypto_params": self.crypto_params,
+            "faults": [
+                {
+                    "kind": f.kind,
+                    "service": f.service,
+                    "index": f.index,
+                    "params": f.params,
+                }
+                for f in self.faults
+            ],
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        try:
+            services = tuple(
+                ServiceDecl(
+                    name=s["name"],
+                    n=s["n"],
+                    app=AppSpec(
+                        kind=s["app"]["kind"],
+                        params=dict(s["app"].get("params") or {}),
+                    ),
+                    crypto=s.get("crypto"),
+                    hosts=tuple(s["hosts"]) if s.get("hosts") is not None else None,
+                    clbft=s.get("clbft"),
+                )
+                for s in data.get("services", ())
+            )
+            network_data = data.get("network") or {}
+            faults = tuple(
+                FaultSpec(
+                    kind=f["kind"],
+                    service=f.get("service", ""),
+                    index=f.get("index", 0),
+                    params=dict(f.get("params") or {}),
+                )
+                for f in data.get("faults", ())
+            )
+            return cls(
+                name=data["name"],
+                services=services,
+                network=NetworkSpec(
+                    kind=network_data.get("kind", "lan"),
+                    params=dict(network_data.get("params") or {}),
+                ),
+                crypto=data.get("crypto", "mac"),
+                crypto_params=(
+                    dict(data["crypto_params"])
+                    if data.get("crypto_params") is not None else None
+                ),
+                faults=faults,
+                duration_s=data.get("duration_s", 60.0),
+                seed=data.get("seed", 11),
+                max_events=data.get("max_events"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed scenario document: {exc}") from exc
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given top-level fields replaced."""
+        return replace(self, **changes)
+
+
+class ScenarioBuilder:
+    """Fluent constructor for :class:`ScenarioSpec`.
+
+    Example::
+
+        spec = (
+            ScenarioBuilder("two-tier")
+            .network("lan", propagation_us=170)
+            .crypto("mac")
+            .service("target", n=4, app="counter")
+            .service("caller", n=4, app="sync_caller",
+                     target="target", total_calls=50)
+            .crash("target", 2)
+            .duration(60)
+            .build()
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._services: list[ServiceDecl] = []
+        self._network = NetworkSpec()
+        self._crypto = "mac"
+        self._crypto_params: dict | None = None
+        self._faults: list[FaultSpec] = []
+        self._duration_s = 60.0
+        self._seed = 11
+        self._max_events: int | None = None
+
+    def service(
+        self,
+        name: str,
+        n: int,
+        app: str,
+        crypto: str | None = None,
+        hosts: list[str] | None = None,
+        clbft: dict | None = None,
+        **params: Any,
+    ) -> "ScenarioBuilder":
+        """Add a replicated service; ``params`` go to the app builder."""
+        self._services.append(
+            ServiceDecl(
+                name=name,
+                n=n,
+                app=AppSpec(kind=app, params=params),
+                crypto=crypto,
+                hosts=tuple(hosts) if hosts is not None else None,
+                clbft=clbft,
+            )
+        )
+        return self
+
+    def network(self, kind: str, **params: Any) -> "ScenarioBuilder":
+        self._network = NetworkSpec(kind=kind, params=params)
+        return self
+
+    def crypto(self, model: str, **params: Any) -> "ScenarioBuilder":
+        """Select the cost model by registry name, or define it inline
+        (``sign_us`` / ``verify_us`` / ``per_receiver_us``)."""
+        self._crypto = model
+        self._crypto_params = params or None
+        return self
+
+    def crash(self, service: str, index: int) -> "ScenarioBuilder":
+        """Crash replica ``index`` of ``service`` from the start."""
+        self._faults.append(FaultSpec(kind="crash", service=service, index=index))
+        return self
+
+    def link_fault(self, src: str, dst: str, **params: Any) -> "ScenarioBuilder":
+        """Inject per-link faults (``drop``, ``extra_delay_us``); sim only."""
+        self._faults.append(
+            FaultSpec(kind="link", params=dict(params, src=src, dst=dst))
+        )
+        return self
+
+    def duration(self, seconds: float) -> "ScenarioBuilder":
+        self._duration_s = float(seconds)
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        self._seed = seed
+        return self
+
+    def max_events(self, budget: int | None) -> "ScenarioBuilder":
+        self._max_events = budget
+        return self
+
+    def build(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=self._name,
+            services=tuple(self._services),
+            network=self._network,
+            crypto=self._crypto,
+            crypto_params=self._crypto_params,
+            faults=tuple(self._faults),
+            duration_s=self._duration_s,
+            seed=self._seed,
+            max_events=self._max_events,
+        ).validate()

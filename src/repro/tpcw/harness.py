@@ -1,22 +1,24 @@
-"""The Figure 5 / Figure 6 harness: the full TPC-W chain on one simulator.
+"""The Figure 5 / Figure 6 harness: the full TPC-W chain as a scenario.
 
-Deploys RBEs (all on one simulated host, over the n=1 fast path standing
-in for plain HTTP) -> bookstore (n=1, Tomcat-tier stand-in) -> PGE ->
-bank, with the PGE and bank replicated at the configured degrees, and
-measures Web Interactions Per Second at the bookstore.
+RBEs (all on one simulated host, over the n=1 fast path standing in for
+plain HTTP) -> bookstore (n=1, Tomcat-tier stand-in) -> PGE -> bank, with
+the PGE and bank replicated at the configured degrees, measuring Web
+Interactions Per Second at the bookstore.
+
+The chain is described declaratively by
+:func:`repro.scenario.presets.tpcw_scenario` and executed through
+:func:`repro.scenario.run_scenario`; pass ``runtime="threaded"`` or
+``"process"`` to run the identical configuration on a real-parallelism
+substrate (WIPS is then wall-clock-based and non-deterministic).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.payment import bank_app, pge_app
-from repro.sim.kernel import US_PER_S
-from repro.tpcw.bookstore import BookstoreStats, bookstore_app
-from repro.tpcw.interactions import BUY_CONFIRM, Mix, PAPER_MIX
-from repro.tpcw.model import BookstoreDatabase
-from repro.tpcw.rbe import rbe_app
-from repro.ws.deployment import Deployment
+from repro.scenario.presets import tpcw_scenario
+from repro.scenario.runtime import run_scenario
+from repro.tpcw.interactions import Mix, PAPER_MIX
 
 DEFAULT_DURATION_S = 60.0
 DEFAULT_THINK_TIME_MEAN_US = 7_000_000
@@ -57,6 +59,7 @@ def run_tpcw(
     synchronous_bookstore_pge_calls: bool | None = None,
     think_time_mean_us: int = DEFAULT_THINK_TIME_MEAN_US,
     seed: int = 11,
+    runtime: str = "sim",
 ) -> TpcwResult:
     """Run one TPC-W configuration and return its WIPS measurement.
 
@@ -67,60 +70,37 @@ def run_tpcw(
     """
     if n_bank is None:
         n_bank = n_pge
-    if synchronous_bookstore_pge_calls is None:
-        synchronous_bookstore_pge_calls = synchronous_pge
-
-    deployment = Deployment(
-        name=f"tpcw-{rbe_count}-{n_pge}-{n_bank}-{synchronous_pge}"
+    mix_data = (
+        None
+        if mix is PAPER_MIX
+        else {"name": mix.name, "weights": [list(entry) for entry in mix.weights]}
     )
-    deployment.declare("bookstore", 1)
-    deployment.declare("pge", n_pge)
-    deployment.declare("bank", n_bank)
-    for i in range(rbe_count):
-        deployment.declare(f"rbe{i}", 1)
-
-    deployment.add_service("bank", bank_app)
-    deployment.add_service(
-        "pge", pge_app(bank_endpoint="bank", synchronous=synchronous_pge)
+    spec = tpcw_scenario(
+        rbe_count=rbe_count,
+        n_pge=n_pge,
+        n_bank=n_bank,
+        duration_s=duration_s,
+        synchronous_pge=synchronous_pge,
+        synchronous_bookstore_pge_calls=synchronous_bookstore_pge_calls,
+        think_time_mean_us=think_time_mean_us,
+        seed=seed,
+        mix=mix_data,
     )
-    db = BookstoreDatabase(seed=seed)
-    stats = BookstoreStats()
-    deployment.add_service(
-        "bookstore",
-        bookstore_app(
-            db,
-            stats,
-            pge_endpoint="pge",
-            synchronous_pge=synchronous_bookstore_pge_calls,
-        ),
-    )
-    # "All the RBEs were executed within a single host."
-    for i in range(rbe_count):
-        deployment.add_service(
-            f"rbe{i}",
-            rbe_app(
-                rbe_index=i,
-                bookstore_endpoint="bookstore",
-                mix=mix,
-                seed=seed,
-                think_time_mean_us=think_time_mean_us,
-            ),
-            hosts=["rbe-host"],
-        )
-
-    deployment.run(seconds=duration_s)
-    wips = stats.interactions / duration_s if duration_s > 0 else 0.0
+    metrics = run_scenario(spec, runtime=runtime)
+    stats = metrics.services["bookstore"].app
+    interactions = stats.get("interactions", 0)
+    wips = interactions / duration_s if duration_s > 0 else 0.0
     return TpcwResult(
         rbe_count=rbe_count,
         n_pge=n_pge,
         n_bank=n_bank,
         synchronous_pge=synchronous_pge,
         duration_s=duration_s,
-        interactions=stats.interactions,
+        interactions=interactions,
         wips=wips,
-        pge_calls=stats.pge_calls,
-        approved=stats.approved,
-        declined=stats.declined,
+        pge_calls=stats.get("pge_calls", 0),
+        approved=stats.get("approved", 0),
+        declined=stats.get("declined", 0),
     )
 
 
@@ -129,6 +109,7 @@ def figure6_series(
     group_sizes: tuple[int, ...] = (1, 4, 7, 10),
     duration_s: float = DEFAULT_DURATION_S,
     think_time_mean_us: int = DEFAULT_THINK_TIME_MEAN_US,
+    runtime: str = "sim",
 ) -> list[TpcwResult]:
     """The Figure 6 grid: WIPS vs RBE count for each replication degree."""
     results = []
@@ -140,6 +121,7 @@ def figure6_series(
                     n_pge=n,
                     duration_s=duration_s,
                     think_time_mean_us=think_time_mean_us,
+                    runtime=runtime,
                 )
             )
     return results

@@ -8,16 +8,27 @@ This package is what a downstream web-service developer imports:
 - :mod:`repro.ws.adapter`    -- bridges WS-level applications onto the
   Perpetual executor model (WS-Addressing correlation, SOAP marshaling
   through the engine pipes);
-- :mod:`repro.ws.deployment` -- deploys replicated services from a
-  topology (the ``replicas.xml`` model of section 5.2);
+- :mod:`repro.ws.deployment` -- compatibility shim; deployment moved to
+  the declarative scenario API in :mod:`repro.scenario` (one spec, any
+  substrate: sim / threaded / process);
 - :mod:`repro.ws.descriptor` -- parses an actual ``replicas.xml`` document;
 - :mod:`repro.ws.registry`   -- a static UDDI stand-in for endpoint
   resolution (the paper's future-work discovery direction).
 """
 
 from repro.ws.api import MessageContext, MessageHandler, Options, Utils
-from repro.ws.deployment import Deployment, ServiceDeployment
 from repro.ws.registry import ServiceRegistry
+
+
+def __getattr__(name: str):
+    # Deployment lives in repro.scenario.sim (which imports repro.ws
+    # submodules); resolving it lazily keeps this package importable
+    # from inside that module without a cycle.
+    if name in ("Deployment", "ServiceDeployment"):
+        from repro.ws import deployment
+
+        return getattr(deployment, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Deployment",

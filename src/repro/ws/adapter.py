@@ -255,6 +255,41 @@ class WsAdapter:
         yield SendReply(event, payload)
 
 
+def collecting_executor_factory(
+    service: str,
+    app_factory: WsAppFactory,
+    adapters: list["WsAdapter"],
+    engine_factory: Callable[[], SoapEngine] | None = None,
+    resolve: Callable[[str], str] | None = None,
+) -> Callable[[], Any]:
+    """The per-replica executor factory every substrate deploys with.
+
+    Each invocation (one per replica, in replica order — the driver
+    constructs its executor eagerly) builds a fresh engine and adapter,
+    appends the adapter to ``adapters`` for observability, and returns
+    the executor-level generator. ``resolve`` defaults to the static
+    registry resolution so ``perpetual://`` endpoint references work
+    identically on every substrate.
+    """
+    if resolve is None:
+        from repro.ws.registry import ServiceRegistry
+
+        resolve = ServiceRegistry.service_name
+
+    def factory() -> Any:
+        engine = engine_factory() if engine_factory is not None else SoapEngine()
+        adapter = WsAdapter(
+            service=service,
+            app_factory=app_factory,
+            engine=engine,
+            resolve=resolve,
+        )
+        adapters.append(adapter)
+        return adapter.executor_app()()
+
+    return factory
+
+
 def adapt_service(
     service: str,
     app_factory: WsAppFactory,

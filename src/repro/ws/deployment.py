@@ -1,192 +1,27 @@
-"""Deployment of Perpetual-WS services onto the simulation substrate.
+"""Compatibility shim: deployment now lives in :mod:`repro.scenario`.
 
-A :class:`Deployment` owns the simulator, the key store, the topology
-(``replicas.xml`` model), and the registry; services are added with either
-a WS-level application (generator over the :mod:`repro.ws.api`
-operations) or a raw executor-level application. ``deployment.run()``
-then drives the whole multi-tier system deterministically.
+The single deployment entry point of the reproduction is the declarative
+scenario API — build a :class:`repro.scenario.ScenarioSpec` (directly,
+with :class:`repro.scenario.ScenarioBuilder`, or from a preset in
+:mod:`repro.scenario.presets`) and hand it to a runtime::
+
+    from repro.scenario import ScenarioBuilder, run_scenario
+
+    spec = (
+        ScenarioBuilder("demo")
+        .service("target", n=4, app="echo")
+        .service("caller", n=4, app="sync_caller",
+                 target="target", total_calls=10)
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")   # or threaded / process
+
+The imperative :class:`Deployment` facade (declare services, add apps,
+run the simulator) moved to :mod:`repro.scenario.sim`, where
+``SimRuntime`` drives it; it is re-exported here unchanged for existing
+tests and bespoke simulator setups.
 """
 
-from __future__ import annotations
+from repro.scenario.sim import Deployment, ServiceDeployment
 
-from typing import Any, Callable
-
-from repro.common.errors import ConfigurationError
-from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
-from repro.crypto.keys import KeyStore
-from repro.perpetual.executor import AppFactory
-from repro.perpetual.group import ServiceGroup, Topology, deploy_service
-from repro.sim.kernel import Simulator, US_PER_S
-from repro.sim.network import LanModel, NetworkModel
-from repro.soap.engine import SoapEngine
-from repro.ws.adapter import WsAdapter, WsAppFactory
-from repro.ws.descriptor import parse_replicas_xml
-from repro.ws.registry import ServiceRegistry
-
-
-class ServiceDeployment:
-    """One deployed service: the replica group plus per-replica adapters."""
-
-    def __init__(
-        self,
-        name: str,
-        group: ServiceGroup,
-        adapters: list[WsAdapter] | None = None,
-    ) -> None:
-        self.name = name
-        self.group = group
-        self.adapters = adapters or []
-
-    @property
-    def n(self) -> int:
-        return self.group.n
-
-    def completed_calls(self) -> int:
-        return self.group.completed_calls()
-
-    def aborted_calls(self) -> int:
-        return self.group.aborted_calls()
-
-    def requests_served(self) -> int:
-        if self.adapters:
-            return self.adapters[0].requests_served
-        return self.group.delivered_requests()
-
-    def engines(self) -> list[SoapEngine]:
-        return [adapter.engine for adapter in self.adapters]
-
-
-class Deployment:
-    """A whole multi-tier Perpetual-WS system on one simulator."""
-
-    def __init__(
-        self,
-        name: str = "deployment",
-        network: NetworkModel | None = None,
-        sim: Simulator | None = None,
-    ) -> None:
-        self.name = name
-        self.sim = sim or Simulator()
-        self.sim.set_network(network or LanModel())
-        self.keys = KeyStore.for_deployment(name)
-        self.topology = Topology()
-        self.registry = ServiceRegistry()
-        self.services: dict[str, ServiceDeployment] = {}
-        self._declared: set[str] = set()
-
-    # ------------------------------------------------------------------
-    # Topology declaration
-    # ------------------------------------------------------------------
-
-    def declare(self, name: str, n: int) -> None:
-        """Declare a service's replication degree before deploying it.
-
-        All services must be declared before any is deployed, because
-        every node needs the complete topology for quorum arithmetic
-        (exactly the role of ``replicas.xml``).
-        """
-        spec = self.topology.add(name, n)
-        self.registry.register(spec)
-        self._declared.add(name)
-
-    def declare_from_xml(self, replicas_xml: str | bytes) -> None:
-        """Declare every service listed in a replicas.xml document."""
-        for spec in parse_replicas_xml(replicas_xml):
-            self.topology.specs[str(spec.service)] = spec
-            self.registry.register(spec)
-            self._declared.add(str(spec.service))
-
-    # ------------------------------------------------------------------
-    # Service deployment
-    # ------------------------------------------------------------------
-
-    def add_service(
-        self,
-        name: str,
-        app: WsAppFactory,
-        n: int | None = None,
-        cost_model: CryptoCostModel = MAC_COST_MODEL,
-        clbft_overrides: dict | None = None,
-        engine_factory: Callable[[], SoapEngine] | None = None,
-        hosts: list[str] | None = None,
-    ) -> ServiceDeployment:
-        """Deploy a WS-level application as a replicated service."""
-        self._ensure_declared(name, n)
-        adapters: list[WsAdapter] = []
-
-        def app_factory_for_replica() -> Any:
-            engine = engine_factory() if engine_factory else SoapEngine()
-            adapter = WsAdapter(
-                service=name,
-                app_factory=app,
-                engine=engine,
-                resolve=self.registry.service_name,
-            )
-            adapters.append(adapter)
-            return adapter.executor_app()()
-
-        group = deploy_service(
-            sim=self.sim,
-            topology=self.topology,
-            keys=self.keys,
-            service=name,
-            app_factory=app_factory_for_replica,
-            cost_model=cost_model,
-            clbft_overrides=clbft_overrides,
-            hosts=hosts,
-        )
-        deployed = ServiceDeployment(name=name, group=group, adapters=adapters)
-        self.services[name] = deployed
-        return deployed
-
-    def add_raw_service(
-        self,
-        name: str,
-        app_factory: AppFactory,
-        n: int | None = None,
-        cost_model: CryptoCostModel = MAC_COST_MODEL,
-        clbft_overrides: dict | None = None,
-    ) -> ServiceDeployment:
-        """Deploy an executor-level application (no SOAP layer)."""
-        self._ensure_declared(name, n)
-        group = deploy_service(
-            sim=self.sim,
-            topology=self.topology,
-            keys=self.keys,
-            service=name,
-            app_factory=app_factory,
-            cost_model=cost_model,
-            clbft_overrides=clbft_overrides,
-        )
-        deployed = ServiceDeployment(name=name, group=group)
-        self.services[name] = deployed
-        return deployed
-
-    def _ensure_declared(self, name: str, n: int | None) -> None:
-        if name not in self._declared:
-            if n is None:
-                raise ConfigurationError(
-                    f"service {name!r} was never declared and no replication "
-                    "degree was given"
-                )
-            self.declare(name, n)
-        elif n is not None and self.topology.spec(name).n != n:
-            raise ConfigurationError(
-                f"service {name!r} declared with n={self.topology.spec(name).n} "
-                f"but deployed with n={n}"
-            )
-
-    # ------------------------------------------------------------------
-    # Running
-    # ------------------------------------------------------------------
-
-    def run(self, seconds: float | None = None, max_events: int | None = None) -> int:
-        """Run the simulation (bounded by time and/or event count)."""
-        until_us = None
-        if seconds is not None:
-            until_us = self.sim.now_us + int(seconds * US_PER_S)
-        return self.sim.run(until_us=until_us, max_events=max_events)
-
-    @property
-    def now_us(self) -> int:
-        return self.sim.now_us
+__all__ = ["Deployment", "ServiceDeployment"]

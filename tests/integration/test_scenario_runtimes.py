@@ -1,0 +1,210 @@
+"""Integration: one ScenarioSpec, three substrates.
+
+The acceptance bar of the scenario redesign: the *same* spec object runs
+to completion on the simulator, the threaded cluster, and the
+multi-process cluster through one shared code path, with identical
+workload outcomes where the substrate is deterministic enough to compare
+(completed/aborted counts) and real OS-process parallelism demonstrable
+on the process substrate.
+"""
+
+import os
+
+import pytest
+
+from repro.scenario.presets import echo_parity_scenario
+from repro.scenario.process import ProcessRuntime
+from repro.scenario.runtime import get_runtime, run_scenario
+from repro.scenario.spec import FaultSpec
+
+
+def test_sim_threaded_parity_on_echo_scenario():
+    # One spec object (echo app, n=4, f=1), both in-process substrates.
+    spec = echo_parity_scenario(n=4, total_calls=6)
+
+    sim_metrics = run_scenario(spec, runtime="sim")
+    threaded = get_runtime("threaded")
+    threaded.deploy(spec)
+    try:
+        threaded.run(until_s=60)
+        threaded_metrics = threaded.metrics()
+        assert threaded.errors() == []
+    finally:
+        threaded.shutdown()
+
+    for metrics in (sim_metrics, threaded_metrics):
+        assert metrics.scenario == spec.name
+        assert metrics.services["caller"].completed_calls == 6
+        assert metrics.services["caller"].aborted_calls == 0
+        assert metrics.services["target"].requests_served == 6
+    assert (
+        sim_metrics.services["caller"].completed_calls
+        == threaded_metrics.services["caller"].completed_calls
+    )
+    assert (
+        sim_metrics.services["caller"].aborted_calls
+        == threaded_metrics.services["caller"].aborted_calls
+    )
+
+
+def test_sim_runtime_is_deterministic():
+    spec = echo_parity_scenario(n=4, total_calls=5)
+    a = run_scenario(spec, runtime="sim")
+    b = run_scenario(spec, runtime="sim")
+    assert a.events_processed == b.events_processed
+    assert a.now_us == b.now_us
+    assert a.services["caller"].last_completion_us == \
+        b.services["caller"].last_completion_us
+
+
+def test_process_runtime_smoke_uses_real_processes():
+    # A 2-service scenario must occupy >= 2 OS processes, none of them
+    # the test process itself.
+    spec = echo_parity_scenario(n=1, total_calls=3, name="echo-proc-smoke")
+    runtime = ProcessRuntime()
+    runtime.deploy(spec)
+    try:
+        pids = runtime.worker_pids()
+        assert len(set(pids)) >= 2
+        assert os.getpid() not in pids
+        runtime.run(until_s=60)
+        metrics = runtime.metrics()
+        assert metrics.processes >= 2
+        assert metrics.services["caller"].completed_calls == 3
+        assert metrics.services["caller"].aborted_calls == 0
+        assert metrics.services["target"].requests_served == 3
+        assert runtime.worker_errors() == {}
+    finally:
+        runtime.shutdown()
+
+
+def test_process_runtime_tolerates_crashed_replica():
+    # f=1 crash fault: the crashed pair's worker is never spawned and the
+    # protocol still completes on the surviving 2f+1... replicas.
+    spec = echo_parity_scenario(n=4, total_calls=3, name="echo-proc-crash")
+    spec = spec.with_(faults=(FaultSpec(kind="crash", service="target", index=1),))
+    runtime = ProcessRuntime()
+    runtime.deploy(spec)
+    try:
+        assert len(runtime.worker_pids()) == 7  # 8 pairs minus the crash
+        runtime.run(until_s=90)
+        metrics = runtime.metrics()
+        assert metrics.services["caller"].completed_calls == 3
+        assert metrics.services["caller"].aborted_calls == 0
+    finally:
+        runtime.shutdown()
+
+
+def test_crashed_replica_zero_still_observed_on_sim_and_threaded():
+    # Metrics fall back to the lowest live replica when replica 0 is
+    # crash-faulted, identically on every substrate.
+    spec = echo_parity_scenario(n=4, total_calls=4, name="echo-crash-r0")
+    spec = spec.with_(faults=(FaultSpec(kind="crash", service="caller", index=0),))
+
+    sim_metrics = run_scenario(spec, runtime="sim")
+    assert sim_metrics.services["caller"].completed_calls == 4
+
+    threaded = get_runtime("threaded")
+    threaded.deploy(spec)
+    try:
+        threaded.run(until_s=60)
+        assert threaded.metrics().services["caller"].completed_calls == 4
+    finally:
+        threaded.shutdown()
+
+
+def test_process_runtime_fails_fast_on_unknown_app_kind():
+    from repro.common.errors import ConfigurationError
+    from repro.scenario.spec import ScenarioBuilder
+
+    spec = ScenarioBuilder("bad-app").service("svc", n=1, app="ecno").build()
+    runtime = ProcessRuntime()
+    try:
+        with pytest.raises(ConfigurationError, match="ecno"):
+            runtime.deploy(spec)
+    finally:
+        runtime.shutdown()
+
+
+def test_process_runtime_rejects_registry_only_cost_models():
+    # A model living only in this process's registry cannot be rebuilt by
+    # a worker; the spec must carry crypto_params instead.
+    from repro.common.errors import ConfigurationError
+    from repro.crypto.cost import CryptoCostModel
+    from repro.scenario.apps import register_cost_model
+    from repro.scenario.spec import ScenarioBuilder
+
+    register_cost_model(
+        CryptoCostModel(name="registry-only", sign_us=1,
+                        verify_us=1, per_receiver_us=0)
+    )
+    spec = (
+        ScenarioBuilder("registry-only-crypto")
+        .crypto("registry-only")
+        .service("svc", n=1, app="echo")
+        .build()
+    )
+    runtime = ProcessRuntime()
+    try:
+        with pytest.raises(ConfigurationError, match="crypto_params"):
+            runtime.deploy(spec)
+    finally:
+        runtime.shutdown()
+    # The self-describing form deploys fine (validation only; no run).
+    ok = spec.with_(
+        crypto_params={"sign_us": 1, "verify_us": 1, "per_receiver_us": 0}
+    )
+    runtime = ProcessRuntime()
+    try:
+        runtime.deploy(ok)
+        assert len(runtime.worker_pids()) == 1
+    finally:
+        runtime.shutdown()
+
+
+def test_process_runtime_shutdown_stops_parent_threads_without_workers():
+    import threading
+
+    spec = echo_parity_scenario(n=1, total_calls=1, name="echo-all-crashed")
+    spec = spec.with_(
+        faults=(
+            FaultSpec(kind="crash", service="target", index=0),
+            FaultSpec(kind="crash", service="caller", index=0),
+        )
+    )
+    before = threading.active_count()
+    runtime = ProcessRuntime()
+    runtime.deploy(spec)
+    runtime.shutdown()
+    assert threading.active_count() == before
+
+
+def test_scheme_qualified_endpoints_resolve_on_every_substrate():
+    # perpetual:// references resolve through the same static registry
+    # logic on all substrates, not just the simulator.
+    from repro.scenario.spec import ScenarioBuilder
+
+    spec = (
+        ScenarioBuilder("scheme-endpoints")
+        .duration(30)
+        .service("target", n=1, app="echo")
+        .service("caller", n=1, app="sync_caller",
+                 target="perpetual://target", total_calls=2)
+        .build()
+    )
+    assert run_scenario(spec, runtime="sim").services[
+        "caller"].completed_calls == 2
+    threaded = get_runtime("threaded")
+    threaded.deploy(spec)
+    try:
+        threaded.run(until_s=30)
+        assert threaded.metrics().services["caller"].completed_calls == 2
+    finally:
+        threaded.shutdown()
+
+
+def test_unknown_runtime_rejected():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        get_runtime("quantum")
