@@ -105,6 +105,13 @@ def run_benchmarks() -> dict[str, dict]:
             "min_s": stats["min"],
             "max_s": stats["max"],
             "rounds": stats["rounds"],
+            # Fault-injection activity during the measured cell (the
+            # fault_activity fixture's delta). Chaos scenarios measure a
+            # scripted adversary, not the protocol fast path, so a
+            # nonzero count marks the run unfit as a baseline.
+            "faults_injected": sample.get("extra_info", {}).get(
+                "faults_injected", 0
+            ),
             "machine": machine_point,
             "datetime": data.get("datetime"),
         }
@@ -131,6 +138,7 @@ def main() -> int:
     point = dict(cells["fig8"])
     point["tag"] = args.tag
     point["cells"] = cells
+    point["fault_active"] = any(c["faults_injected"] for c in cells.values())
     output_path = REPO_ROOT / f"BENCH_{args.tag}.json"
     output_path.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
     for fig, cell in cells.items():
@@ -141,6 +149,14 @@ def main() -> int:
     failed = []
     for fig, cell in cells.items():
         path = baseline_path(fig)
+        if cell["faults_injected"]:
+            print(f"{fig}: FAULT-ACTIVE run ({cell['faults_injected']} "
+                  f"injections) — not eligible as a baseline", file=sys.stderr)
+            if args.update_baseline or not path.exists():
+                raise SystemExit(
+                    f"refusing to store a fault-active run as the {fig} "
+                    "baseline"
+                )
         if args.update_baseline or not path.exists():
             path.write_text(json.dumps(cell, indent=2, sort_keys=True) + "\n")
             print(f"{fig}: baseline written to {path.relative_to(REPO_ROOT)}")

@@ -10,6 +10,25 @@ runnable in minutes.
 
 from __future__ import annotations
 
+import pytest
+
+from repro.common.metrics import METRICS
+
+
+@pytest.fixture
+def fault_activity(benchmark):
+    """Stamp the benchmark sample with the fault-injection delta.
+
+    The adversary layer must be zero-cost when unconfigured, so figure
+    cells are expected to record ``faults_injected == 0``;
+    ``benchmarks/compare.py`` refuses to treat a fault-active run as a
+    performance baseline (chaos scenarios must not pollute the fig7/8/9
+    trajectory).
+    """
+    before = METRICS.faults_injected
+    yield
+    benchmark.extra_info["faults_injected"] = METRICS.faults_injected - before
+
 
 def print_series(title: str, rows: list[str]) -> None:
     bar = "=" * max(len(title), 8)

@@ -78,7 +78,7 @@ def test_fig7_shape_marginal_cost_shrinks(grid):
     assert drop_1_4 > drop_7_10
 
 
-def test_fig7_benchmark_representative_cell(benchmark):
+def test_fig7_benchmark_representative_cell(benchmark, fault_activity):
     # Steady-state measurement (one warmup round, median of five):
     # benchmarks/compare.py gates this cell's median at 10%.
     result = benchmark.pedantic(

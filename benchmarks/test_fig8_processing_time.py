@@ -91,7 +91,7 @@ def test_fig8_paper_throughput_claims(sweep):
     assert at_6ms > at_null * 1.5
 
 
-def test_fig8_benchmark_representative_cell(benchmark):
+def test_fig8_benchmark_representative_cell(benchmark, fault_activity):
     # Steady-state measurement: one warmup round populates the encode/
     # digest caches and import-time state, then the median of five rounds
     # is the trajectory point benchmarks/compare.py gates on.

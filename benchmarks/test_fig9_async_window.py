@@ -85,7 +85,7 @@ def test_fig9_shape_ordering_by_replication(sweep):
         assert series == sorted(series, reverse=True)
 
 
-def test_fig9_benchmark_representative_cell(benchmark):
+def test_fig9_benchmark_representative_cell(benchmark, fault_activity):
     # Steady-state measurement (one warmup round, median of five):
     # benchmarks/compare.py gates this cell's median at 10%.
     result = benchmark.pedantic(

@@ -39,6 +39,7 @@ from repro.clbft.messages import (
     encode_message,
 )
 from repro.common.encoding import IdentityMemo
+from repro.common.metrics import METRICS
 from repro.crypto.digest import digest
 
 VIEW_CHANGE_TIMER = "clbft-view-change"
@@ -77,6 +78,7 @@ class ClbftReplica:
         send_reply: Callable[[str, Reply], None] | None = None,
         state_digest: Callable[[], bytes] | None = None,
         on_new_view: Callable[[int], None] | None = None,
+        on_stable_checkpoint: Callable[[int], None] | None = None,
     ) -> None:
         self.config = config
         self.index = index
@@ -88,6 +90,7 @@ class ClbftReplica:
         self._send_reply = send_reply
         self._state_digest = state_digest or (lambda: digest(self.log.last_executed))
         self._new_view_callback = on_new_view
+        self._stable_checkpoint_callback = on_stable_checkpoint
 
         self.view = 0
         self.log = MessageLog(config)
@@ -103,6 +106,9 @@ class ClbftReplica:
         # Keys already ordered (pre-prepared in the current view or executed).
         self._proposed: set[tuple[str, int]] = set()
         self._executed_keys: set[tuple[str, int]] = set()
+        # Seqno each key executed at, so stable checkpoints can garbage-
+        # collect the at-most-once bookkeeping above.
+        self._executed_at: dict[tuple[str, int], int] = {}
         # Last reply per client, for at-most-once execution + retransmission.
         self._last_reply: dict[str, Reply] = {}
         # View-change votes per target view.
@@ -307,6 +313,7 @@ class ClbftReplica:
         if key in self._executed_keys:
             return
         self._executed_keys.add(key)
+        self._executed_at[key] = seqno
         self._pending.pop(key, None)
         self._all_submitted.pop(key, None)
         result = self._execute(seqno, request)
@@ -326,20 +333,50 @@ class ClbftReplica:
         checkpoint = Checkpoint(
             seqno=seqno, state_digest=self._state_digest(), replica=self.index
         )
-        self.log.add_checkpoint(checkpoint)
+        if self.log.add_checkpoint(checkpoint):
+            self._stable_advanced()
         self._multicast(checkpoint)
 
     def _on_checkpoint(self, msg: Checkpoint) -> None:
-        self.log.add_checkpoint(msg)
+        if self.log.add_checkpoint(msg):
+            self._stable_advanced()
+
+    def _stable_advanced(self) -> None:
+        """The stable checkpoint moved: garbage-collect at-most-once
+        bookkeeping for requests it covers, then notify the embedder so
+        its per-request caches (e.g. the voter reply store) follow."""
+        stable = self.log.stable_seqno
+        if self._executed_at:
+            dead = [
+                key for key, seqno in self._executed_at.items()
+                if seqno <= stable
+            ]
+            for key in dead:
+                del self._executed_at[key]
+                self._executed_keys.discard(key)
+                self._proposed.discard(key)
+                self._all_submitted.pop(key, None)
+                reply = self._last_reply.get(key[0])
+                if reply is not None and reply.timestamp == key[1]:
+                    del self._last_reply[key[0]]
+            METRICS.cache_evictions += len(dead)
+        if self._stable_checkpoint_callback is not None:
+            self._stable_checkpoint_callback(stable)
 
     # ------------------------------------------------------------------
     # Liveness: view changes
     # ------------------------------------------------------------------
 
     def _awaiting_execution(self) -> bool:
+        # Entries at or below last_executed were decided in another view
+        # (e.g. re-issued after an equivocating or mute primary); the
+        # abandoned view's copy will never execute and must not keep the
+        # view-change timer armed forever.
+        last_executed = self.log.last_executed
         return bool(self._pending) or any(
             not entry.executed and entry.pre_prepare is not None
-            for entry in self.log._entries.values()
+            and seqno > last_executed
+            for (_view, seqno), entry in self.log._entries.items()
         )
 
     def _ensure_timer(self) -> None:
@@ -513,12 +550,14 @@ class ClbftReplica:
         self.in_view_change = False
         self.target_view = new_view
         self.view_changes_completed += 1
+        METRICS.view_changes += 1
         min_s = max(v.stable_seqno for v in votes)
         if min_s > self.log.stable_seqno:
             # Adopt the proven stable checkpoint (state transfer is modelled
             # as instantaneous; see DESIGN.md section 2).
             self.log.stable_seqno = min_s
             self.log._garbage_collect()
+            self._stable_advanced()
         max_seen = min_s
         for pre_prepare in pre_prepares:
             entry = self.log.entry(new_view, pre_prepare.seqno)

@@ -41,6 +41,15 @@ class Metrics:
     events_processed: int = 0
     #: Heap rebuilds that dropped cancelled timer entries.
     heap_compactions: int = 0
+    #: Driver-side request retransmissions (responder rotation + rearm).
+    retransmissions: int = 0
+    #: CLBFT view changes completed (new view entered) across replicas.
+    view_changes: int = 0
+    #: Fault-injection actions applied by the adversary layer (drops,
+    #: deferrals, corruptions, equivocations, mutes).
+    faults_injected: int = 0
+    #: Cache entries evicted by checkpoint-driven garbage collection.
+    cache_evictions: int = 0
 
     def reset(self) -> None:
         """Zero every counter (tests call this before a measured region)."""

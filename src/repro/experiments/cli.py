@@ -24,6 +24,19 @@ examples (one per figure, plus the scenario runner):
          python -m repro.experiments run --preset tpcw-small --runtime sim
          python -m repro.experiments run --preset two-tier --dump > t.json
          python -m repro.experiments run --scenario t.json --runtime threaded
+
+chaos presets (scripted adversaries; every kind runs on sim, threaded,
+and process — except link, which shapes the modelled network, sim only):
+  crash      replica never speaks:         .crash("svc", 2)
+  byzantine  equivocate / corrupt / mute:  .byzantine("svc", 0, mode="mute")
+  delay      defer every outbound message: .delay("svc", 1, delay_us=5000)
+  partition  split until heal deadline:    .partition("svc", [3], heal_after_us=2_000_000)
+  restart    crash then rejoin:            .restart("svc", 2, up_after_us=3_000_000)
+  link       per-link drop/delay (sim):    .link_fault("a/d0", "b/v1", drop=0.3)
+  chaos: python -m repro.experiments run --preset chaos-equivocating-primary
+         python -m repro.experiments run --preset chaos-partition-heal --runtime threaded
+         python -m repro.experiments run --preset chaos-slow-drip --runtime process
+         python -m repro.experiments run --preset chaos-soak
 """
 
 
@@ -118,10 +131,18 @@ def _run(args) -> None:
         print(
             f"  {name:<12s} n={svc.n:<3d} completed={svc.completed_calls:<6d} "
             f"aborted={svc.aborted_calls:<4d} served={svc.requests_served:<6d} "
-            f"delivered={svc.delivered_requests}"
+            f"delivered={svc.delivered_requests:<6d} "
+            f"view_changes={svc.view_changes}"
         )
         if svc.app:
             print(f"  {'':<12s} app={svc.app}")
+    fault_counters = {
+        key: metrics.counters.get(key, 0)
+        for key in ("retransmissions", "view_changes", "faults_injected",
+                    "cache_evictions")
+    }
+    if any(fault_counters.values()):
+        print(f"  counters: {fault_counters}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,27 @@
+"""Scripted adversary layer: Byzantine, delay, partition, restart faults.
+
+The paper's guarantee is stated against an adversary — up to *f* replicas
+per group behaving arbitrarily — so the repo needs one too.  This package
+turns the fault declarations carried by a :class:`ScenarioSpec` into
+per-replica scripts and per-node injectors that wrap a node's send/
+receive/timer hooks identically on every substrate (simulator, threaded
+cluster, process cluster).
+"""
+
+from repro.faults.controller import (
+    BYZANTINE_MODES,
+    FAULT_DEFER_TAG,
+    FaultInjector,
+    FaultPlan,
+    ReplicaFaultScript,
+    require_supported_kinds,
+)
+
+__all__ = [
+    "BYZANTINE_MODES",
+    "FAULT_DEFER_TAG",
+    "FaultInjector",
+    "FaultPlan",
+    "ReplicaFaultScript",
+    "require_supported_kinds",
+]

@@ -43,13 +43,23 @@ from repro.perpetual.messages import (
     UtilityRequest,
     reply_auth_bytes,
 )
+from repro.common.metrics import METRICS
 from repro.perpetual.voter import driver_name, principal_index, voter_name
 from repro.sim.kernel import ProtocolNode, SimNodeEnv, US_PER_MS
+from repro.sim.rng import DeterministicRng
 from repro.transport.channel import ChannelAdapter
 from repro.transport.connection import SimConnection
 from repro.transport.wire import WireEnvelope, auth_from_wire
 
 RETRANSMIT_TIMEOUT_US = 250_000
+#: Truncated binary exponential backoff: ceiling on the rearm delay.
+RETRANSMIT_CAP_US = 4_000_000
+#: Uniform jitter fraction added to each backoff delay (deterministic:
+#: drawn from a per-driver seeded stream, so sim runs stay reproducible).
+RETRANSMIT_JITTER = 0.1
+#: Retry budget: after this many retransmissions the driver proposes the
+#: deterministic abort rather than rearming forever.
+RETRY_BUDGET = 10
 
 _BUNDLE_AUTH_BYTES = IdentityMemo()
 
@@ -66,6 +76,8 @@ class DriverNode(ProtocolNode):
         app_factory: AppFactory,
         cost_model: CryptoCostModel = MAC_COST_MODEL,
         retransmit_timeout_us: int = RETRANSMIT_TIMEOUT_US,
+        retry_budget: int = RETRY_BUDGET,
+        fault: Any | None = None,
     ) -> None:
         self.topology = topology
         self.service = service
@@ -74,6 +86,9 @@ class DriverNode(ProtocolNode):
         self._keys = keys
         self._cost_model = cost_model
         self._retransmit_timeout_us = retransmit_timeout_us
+        self._retry_budget = retry_budget
+        self._rtx_rng = DeterministicRng(0, f"rtx/{self.name}")
+        self._fault = fault
         self._env: SimNodeEnv | None = None
         self._channel: ChannelAdapter | None = None
         self._allocator = RequestIdAllocator(ServiceId(service), start=1)
@@ -98,6 +113,8 @@ class DriverNode(ProtocolNode):
     # ------------------------------------------------------------------
 
     def attach(self, env: SimNodeEnv) -> None:
+        if self._fault is not None:
+            env = self._fault.wrap_env(env)
         self._env = env
         self._channel = ChannelAdapter(
             me=self.name,
@@ -137,6 +154,8 @@ class DriverNode(ProtocolNode):
         self._pump()
 
     def on_message(self, src: Any, msg: Any) -> None:
+        if self._fault is not None and not self._fault.deliver_ok(src):
+            return
         if isinstance(msg, WireEnvelope):
             protocol_msg = self._channel.accept(msg)
             if protocol_msg is None:
@@ -149,6 +168,8 @@ class DriverNode(ProtocolNode):
             self._on_agreed_event(msg)
 
     def on_timer(self, tag: Any) -> None:
+        if self._fault is not None and self._fault.on_timer(tag):
+            return
         if tag == "sleep":
             self.runtime.deliver_wakeup()
             self._pump()
@@ -208,7 +229,7 @@ class DriverNode(ProtocolNode):
         if self.first_issue_us is None:
             self.first_issue_us = self._env.now_us()
         self._transmit_request(request, to_all=False)
-        self._env.set_timer(("rtx", request_id), self._retransmit_timeout_us)
+        self._env.set_timer(("rtx", request_id), self._retransmit_delay_us(0))
         if send.timeout_ms is not None:
             self._env.set_timer(("abort", request_id), send.timeout_ms * US_PER_MS)
 
@@ -227,8 +248,30 @@ class DriverNode(ProtocolNode):
             primary_hint = voter_name(str(request.target), 0)
             self._channel.multicast_to(voters, [primary_hint], request)
 
+    def _retransmit_delay_us(self, attempt: int) -> int:
+        """Backoff schedule: truncated binary exponential with jitter.
+
+        ``base * 2^attempt`` capped at :data:`RETRANSMIT_CAP_US`, plus a
+        uniform jitter of up to :data:`RETRANSMIT_JITTER` of the delay so
+        a whole calling group does not retransmit in lockstep. The jitter
+        stream is seeded per driver name, keeping simulator runs
+        deterministic.
+        """
+        base = min(self._retransmit_timeout_us << attempt, RETRANSMIT_CAP_US)
+        spread = int(base * RETRANSMIT_JITTER)
+        if spread <= 0:
+            return base
+        return base + self._rtx_rng.randint(0, spread)
+
     def _retransmit(self, request_id: RequestId) -> None:
         request = self._outstanding[request_id]
+        attempt = request.attempt + 1
+        if attempt > self._retry_budget:
+            # Budget exhausted: stop rearming and propose the
+            # deterministic abort so the call settles instead of
+            # retrying a dead or unreachable target forever.
+            self._propose_abort(request_id)
+            return
         spec = self.topology.spec(str(request.target))
         retried = OutRequest(
             request_id=request.request_id,
@@ -236,11 +279,12 @@ class DriverNode(ProtocolNode):
             target=request.target,
             payload=request.payload,
             responder_index=(request.responder_index + 1) % spec.n,
-            attempt=request.attempt + 1,
+            attempt=attempt,
         )
         self._outstanding[request_id] = retried
+        METRICS.retransmissions += 1
         self._transmit_request(retried, to_all=True)
-        self._env.set_timer(("rtx", request_id), self._retransmit_timeout_us)
+        self._env.set_timer(("rtx", request_id), self._retransmit_delay_us(attempt))
 
     # ------------------------------------------------------------------
     # Stage 7: reply bundles

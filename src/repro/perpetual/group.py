@@ -81,13 +81,22 @@ def build_replica(
     cost_model: CryptoCostModel = MAC_COST_MODEL,
     clbft_overrides: dict | None = None,
     retransmit_timeout_us: int | None = None,
+    fault_script: Any | None = None,
 ) -> tuple[VoterNode, DriverNode]:
     """One replica's co-located voter/driver pair, unattached.
 
     The single construction path every substrate shares — the simulator,
     the threaded cluster, and multi-process workers all build replicas
-    here and differ only in the environment they attach.
+    here and differ only in the environment they attach. ``fault_script``
+    (a :class:`repro.faults.ReplicaFaultScript`) scripts this replica as
+    faulty: each half gets its own injector wired into its hooks.
     """
+    voter_fault = driver_fault = None
+    if fault_script is not None:
+        from repro.faults import FaultInjector
+
+        voter_fault = FaultInjector(fault_script, role="voter")
+        driver_fault = FaultInjector(fault_script, role="driver")
     voter = VoterNode(
         topology=topology,
         service=service,
@@ -95,6 +104,7 @@ def build_replica(
         keys=keys,
         cost_model=cost_model,
         clbft_overrides=clbft_overrides,
+        fault=voter_fault,
     )
     driver_kwargs: dict[str, Any] = {}
     if retransmit_timeout_us is not None:
@@ -106,6 +116,7 @@ def build_replica(
         keys=keys,
         app_factory=app_factory,
         cost_model=cost_model,
+        fault=driver_fault,
         **driver_kwargs,
     )
     return voter, driver
@@ -121,6 +132,7 @@ def deploy_service(
     clbft_overrides: dict | None = None,
     retransmit_timeout_us: int | None = None,
     hosts: list[str] | None = None,
+    fault_plan: Any | None = None,
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the simulator.
 
@@ -144,6 +156,10 @@ def deploy_service(
             cost_model=cost_model,
             clbft_overrides=clbft_overrides,
             retransmit_timeout_us=retransmit_timeout_us,
+            fault_script=(
+                fault_plan.script_for(service, index)
+                if fault_plan is not None else None
+            ),
         )
         voter.attach(sim.add_node(voter_name(service, index), voter, host=host))
         voters.append(voter)

@@ -41,6 +41,7 @@ from repro.clbft.messages import (
 from repro.clbft.replica import VIEW_CHANGE_TIMER, ClbftReplica
 from repro.common.encoding import IdentityMemo, wire_blob
 from repro.common.ids import RequestId
+from repro.common.metrics import METRICS
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.digest import digest_hex
 from repro.crypto.keys import KeyStore
@@ -77,10 +78,6 @@ from repro.transport.wire import (
 # Simulated epoch so agreed clock values resemble wall-clock milliseconds
 # (the paper's experiments ran in late 2007).
 EPOCH_MS = 1_190_000_000_000
-
-# Cap on remembered replies/requests, standing in for the checkpoint-driven
-# garbage collection of the Perpetual technical report.
-REPLY_CACHE_LIMIT = 4096
 
 
 @lru_cache(maxsize=4096)
@@ -163,6 +160,7 @@ class VoterNode(ProtocolNode):
         keys: KeyStore,
         cost_model: CryptoCostModel = MAC_COST_MODEL,
         clbft_overrides: dict | None = None,
+        fault: Any | None = None,
     ) -> None:
         self.topology = topology
         self.service = service
@@ -201,6 +199,13 @@ class VoterNode(ProtocolNode):
         self._delivered_results: set[RequestId] = set()
         # Pre-prepares awaiting external validity (deferred, then retried).
         self._deferred: list[tuple[int, PrePrepare]] = []
+        # Checkpoint-driven GC index: request-id -> the agreement seqno
+        # its cached state was last touched at. Entries at or below the
+        # stable checkpoint are evicted (the Perpetual technical report's
+        # reply-cache GC; replaces the old 4096-entry FIFO stand-in).
+        self._gc_seqnos: dict[RequestId, int] = {}
+        # Scripted fault injector (None on correct replicas = zero cost).
+        self._fault = fault
 
         # Observability.
         self.delivered_requests = 0
@@ -212,6 +217,11 @@ class VoterNode(ProtocolNode):
     # ------------------------------------------------------------------
 
     def attach(self, env: SimNodeEnv) -> None:
+        if self._fault is not None:
+            # The wrapper interposes on send/local_deliver, so the
+            # channel below and every direct env.send here flow through
+            # the fault script.
+            env = self._fault.wrap_env(env)
         self._env = env
         self._channel = ChannelAdapter(
             me=self.name,
@@ -231,6 +241,7 @@ class VoterNode(ProtocolNode):
             set_timer=env.set_timer,
             cancel_timer=env.cancel_timer,
             on_new_view=self._on_clbft_new_view,
+            on_stable_checkpoint=self._on_stable_checkpoint,
         )
 
     @property
@@ -249,6 +260,15 @@ class VoterNode(ProtocolNode):
         return siblings
 
     def _clbft_multicast(self, msg: Any) -> None:
+        if self._fault is not None:
+            plan = self._fault.clbft_multicast_plan(
+                msg, self._sibling_voters(), self.replica
+            )
+            if plan is not None:
+                for recipients, variant in plan:
+                    if recipients:
+                        self._channel.multicast(list(recipients), variant)
+                return
         self._channel.multicast(self._sibling_voters(), msg)
 
     def _clbft_send_to(self, index: int, msg: Any) -> None:
@@ -262,12 +282,16 @@ class VoterNode(ProtocolNode):
     # ------------------------------------------------------------------
 
     def on_message(self, src: Any, msg: Any) -> None:
+        if self._fault is not None and not self._fault.deliver_ok(src):
+            return
         if isinstance(msg, WireEnvelope):
             self._on_network(msg)
         else:
             self._on_local(msg)
 
     def on_timer(self, tag: Any) -> None:
+        if self._fault is not None and self._fault.on_timer(tag):
+            return
         self.replica.on_timer(tag)
 
     # -- network messages ---------------------------------------------------
@@ -328,6 +352,12 @@ class VoterNode(ProtocolNode):
             # responder).
             stored_forward, stored_blob = self._reply_store[req.request_id]
             self._forward_reply(stored_forward, stored_blob, req)
+            return
+        if req.request_id in self._incoming_meta:
+            # Agreed and delivered to the executor, reply still being
+            # computed (slow execution, e.g. a nested out-call riding
+            # through a view change downstream). Re-proposing would
+            # double-execute; the reply is forwarded when it lands.
             return
         key = request_match_key(req)
         copies = self._request_copies.setdefault(key, {})
@@ -432,7 +462,7 @@ class VoterNode(ProtocolNode):
             auth=auth,
         )
         blob = wire_blob(forward, encode_message)
-        self._bounded_put(self._reply_store, msg.request_id, (forward, blob))
+        self._reply_store[msg.request_id] = (forward, blob)
         self._forward_reply(forward, blob, meta)
 
     def _sign_for(self, receivers: list[str], data: bytes) -> list:
@@ -629,18 +659,19 @@ class VoterNode(ProtocolNode):
     def _execute_item(self, seqno: int, item: ClientRequest) -> Any:
         kind = item_kind(item)
         if kind == ITEM_REQUEST:
-            return self._deliver_request(item)
+            return self._deliver_request(seqno, item)
         if kind == ITEM_RESULT:
-            return self._deliver_result(item)
+            return self._deliver_result(seqno, item)
         if kind == ITEM_ABORT:
-            return self._deliver_abort(item)
+            return self._deliver_abort(seqno, item)
         if kind == ITEM_UTILITY:
             return self._deliver_utility(item)
         return None
 
-    def _deliver_request(self, item: ClientRequest) -> Any:
+    def _deliver_request(self, seqno: int, item: ClientRequest) -> Any:
         req = message_from_wire(item.op["request"])
-        self._bounded_put(self._incoming_meta, req.request_id, req)
+        self._incoming_meta[req.request_id] = req
+        self._gc_seqnos[req.request_id] = seqno
         self._request_copies.pop(request_match_key(req), None)
         self.delivered_requests += 1
         self._env.local_deliver(
@@ -657,11 +688,12 @@ class VoterNode(ProtocolNode):
         )
         return {"delivered": str(req.request_id)}
 
-    def _deliver_result(self, item: ClientRequest) -> Any:
+    def _deliver_result(self, seqno: int, item: ClientRequest) -> Any:
         request_id = item.op["request_id"]
         if request_id in self._delivered_results:
             return {"duplicate": True}
         self._delivered_results.add(request_id)
+        self._gc_seqnos[request_id] = seqno
         self._cleanup_result_state(request_id)
         self.delivered_replies += 1
         self._env.local_deliver(
@@ -677,11 +709,12 @@ class VoterNode(ProtocolNode):
         )
         return {"delivered": str(request_id)}
 
-    def _deliver_abort(self, item: ClientRequest) -> Any:
+    def _deliver_abort(self, seqno: int, item: ClientRequest) -> Any:
         request_id = item.op["request_id"]
         if request_id in self._delivered_results:
             return {"duplicate": True}
         self._delivered_results.add(request_id)
+        self._gc_seqnos[request_id] = seqno
         self._cleanup_result_state(request_id)
         self.delivered_aborts += 1
         self._env.local_deliver(
@@ -711,9 +744,58 @@ class VoterNode(ProtocolNode):
         self._result_echoes.pop(request_id, None)
         self._own_echo.pop(request_id, None)
 
-    @staticmethod
-    def _bounded_put(store: dict, key: Any, value: Any) -> None:
-        """Insert with FIFO eviction once the cache limit is reached."""
-        if len(store) >= REPLY_CACHE_LIMIT:
-            store.pop(next(iter(store)))
-        store[key] = value
+    # ------------------------------------------------------------------
+    # Checkpoint-driven garbage collection
+    # ------------------------------------------------------------------
+
+    @property
+    def reply_cache_size(self) -> int:
+        """Live entries in the reply store (bounded by checkpoint GC)."""
+        return len(self._reply_store)
+
+    def _on_stable_checkpoint(self, stable_seqno: int) -> None:
+        """Evict per-request caches whose state was settled at or below
+        the stable checkpoint (the technical report's reply-cache GC).
+
+        A retransmission arriving after its reply was collected is
+        re-executed from scratch; correct callers stop retransmitting
+        once the reply bundle is delivered, and the fc+1-copy rule keeps
+        faulty callers from forging late requests, so the window is
+        bounded by the checkpoint interval.
+        """
+        if not self._gc_seqnos:
+            return
+        n = self.topology.spec(self.service).n
+        dead = []
+        for rid, seqno in self._gc_seqnos.items():
+            if seqno > stable_seqno:
+                continue
+            meta = self._incoming_meta.get(rid)
+            if meta is not None:
+                # A delivered request whose local result has not landed
+                # yet is still at-most-once-guarded by
+                # ``_incoming_meta``; re-proposal would double-execute.
+                if rid not in self._reply_store:
+                    continue
+                # Responder duty not discharged: at deep async windows
+                # the stable checkpoint overtakes reply traffic still in
+                # flight, and evicting the meta/collection state here
+                # would strand the bundle and stall the caller into a
+                # retransmission. The entry falls at the checkpoint
+                # after the bundle ships.
+                if (rid in self._responder_collect
+                        or (meta.responder_index % n == self.index
+                            and rid not in self._responder_sent)):
+                    continue
+            dead.append(rid)
+        if not dead:
+            return
+        for rid in dead:
+            del self._gc_seqnos[rid]
+            self._incoming_meta.pop(rid, None)
+            self._reply_store.pop(rid, None)
+            self._responder_collect.pop(rid, None)
+            self._responder_sent.discard(rid)
+            self._delivered_results.discard(rid)
+            self._cleanup_result_state(rid)
+        METRICS.cache_evictions += len(dead)

@@ -25,6 +25,7 @@ def deploy_threaded_service(
     cost_model: CryptoCostModel = MAC_COST_MODEL,
     clbft_overrides: dict | None = None,
     retransmit_timeout_us: int = 100_000,
+    fault_plan=None,
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the threaded cluster."""
     spec = topology.spec(service)
@@ -40,6 +41,10 @@ def deploy_threaded_service(
             cost_model=cost_model,
             clbft_overrides=clbft_overrides,
             retransmit_timeout_us=retransmit_timeout_us,
+            fault_script=(
+                fault_plan.script_for(service, index)
+                if fault_plan is not None else None
+            ),
         )
         voter.attach(cluster.add_node(voter_name(service, index), voter))
         voters.append(voter)

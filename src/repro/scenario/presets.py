@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.scenario.spec import ScenarioBuilder, ScenarioSpec
+from repro.scenario.spec import FaultSpec, ScenarioBuilder, ScenarioSpec
 
 #: Simulated-time budget of the micro-benchmarks (they end at quiescence).
 MICROBENCH_DURATION_S = 600.0
@@ -164,6 +164,115 @@ def orchestration_scenario(
     )
 
 
+def chaos_equivocating_primary(
+    rbe_count: int = 4,
+    n_pge: int = 4,
+    duration_s: float = 120.0,
+    seed: int = 11,
+    name: str = "chaos-equivocating-primary",
+) -> ScenarioSpec:
+    """TPC-W buy-heavy load with an equivocating PGE primary.
+
+    Replica 0 of the PGE group sends conflicting pre-prepares to
+    disjoint replica halves while it is primary: no digest can gather a
+    prepared certificate, ordering stalls, the view-change timer fires,
+    and the group completes a view change before serving the buy
+    traffic. Every correct request still completes — the adversary costs
+    latency, never safety.
+    """
+    buy_heavy = {
+        "name": "buy-heavy",
+        "weights": [["buy_request", 1], ["buy_confirm", 3]],
+    }
+    spec = tpcw_scenario(
+        rbe_count=rbe_count,
+        n_pge=n_pge,
+        duration_s=duration_s,
+        think_time_mean_us=200_000,
+        seed=seed,
+        mix=buy_heavy,
+        name=name,
+    )
+    equivocate = FaultSpec(
+        kind="byzantine", service="pge", index=0,
+        params={"mode": "equivocate"},
+    )
+    return spec.with_(faults=spec.faults + (equivocate,)).validate()
+
+
+def chaos_partition_heal(
+    n: int = 4,
+    total_calls: int = 12,
+    heal_after_us: int = 2_000_000,
+    duration_s: float = 120.0,
+    name: str = "chaos-partition-heal",
+) -> ScenarioSpec:
+    """A minority partition that heals mid-run.
+
+    Replica ``n - 1`` of the target group is cut off from its peers for
+    the first ``heal_after_us``; the majority keeps ordering (quorums
+    survive losing f replicas) and the isolated replica catches up from
+    retransmissions and checkpoints after the heal.
+    """
+    return (
+        ScenarioBuilder(name)
+        .duration(duration_s)
+        .service("target", n=n, app="echo")
+        .service("caller", n=n, app="sync_caller",
+                 target="target", total_calls=total_calls)
+        .partition("target", [n - 1], heal_after_us=heal_after_us)
+        .build()
+    )
+
+
+def chaos_slow_drip(
+    n: int = 4,
+    total_calls: int = 8,
+    duration_s: float = 120.0,
+    name: str = "chaos-slow-drip",
+) -> ScenarioSpec:
+    """A mute primary that forces at least one view change.
+
+    Replica 0 of the target group swallows its own pre-prepares while
+    primary, so no request is ordered until the backups' view-change
+    timers expire and view 1 takes over.
+    """
+    return (
+        ScenarioBuilder(name)
+        .duration(duration_s)
+        .service("target", n=n, app="echo")
+        .service("caller", n=n, app="sync_caller",
+                 target="target", total_calls=total_calls)
+        .byzantine("target", 0, mode="mute")
+        .build()
+    )
+
+
+def chaos_soak(
+    n: int = 4,
+    total_calls: int = 400,
+    checkpoint_interval: int = 16,
+    duration_s: float = 900.0,
+    name: str = "chaos-soak",
+) -> ScenarioSpec:
+    """A bounded-memory soak: many requests over a small checkpoint K.
+
+    Runs at least 10x ``checkpoint_interval`` requests through one
+    group so checkpoint-driven GC must evict continuously; the voter's
+    reply cache staying near K (instead of growing with the request
+    count) is the assertable outcome.
+    """
+    return (
+        ScenarioBuilder(name)
+        .duration(duration_s)
+        .service("target", n=n, app="echo",
+                 clbft={"checkpoint_interval": checkpoint_interval})
+        .service("caller", n=n, app="sync_caller",
+                 target="target", total_calls=total_calls)
+        .build()
+    )
+
+
 PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
     "two-tier": lambda: two_tier_scenario(4, 4, total_calls=30, duration_s=120.0),
     "async-window": lambda: two_tier_scenario(
@@ -172,6 +281,10 @@ PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
     "echo-parity": lambda: echo_parity_scenario(),
     "tpcw-small": lambda: tpcw_scenario(rbe_count=8, n_pge=4, duration_s=40.0),
     "orchestration": lambda: orchestration_scenario(),
+    "chaos-equivocating-primary": chaos_equivocating_primary,
+    "chaos-partition-heal": chaos_partition_heal,
+    "chaos-slow-drip": chaos_slow_drip,
+    "chaos-soak": chaos_soak,
 }
 
 

@@ -26,7 +26,11 @@ Wiring:
   cross a process boundary (under the default ``fork`` start method the
   parent's caches arrive in the child's memory otherwise);
 - ``crash`` faults are expressed by never spawning the replica's worker:
-  a crashed machine never speaks.
+  a crashed machine never speaks; ``byzantine``, ``delay``,
+  ``partition``, and ``restart`` faults travel inside the spec JSON and
+  are rebuilt into :class:`repro.faults.FaultInjector` hooks by each
+  worker's bootstrap. ``link`` faults parameterise the modelled network
+  and are rejected (simulator-only).
 
 ``run`` polls worker counters until they are stable (quiescence) or the
 wall-clock budget elapses; ``metrics`` performs one fresh poll so the
@@ -46,6 +50,7 @@ from multiprocessing.connection import Connection, wait as connection_wait
 
 from repro.common.encoding import canonical_encode, clear_wire_caches, decode_payload
 from repro.common.errors import ConfigurationError
+from repro.faults import require_supported_kinds
 from repro.scenario.runtime import (
     Runtime,
     ScenarioMetrics,
@@ -262,11 +267,17 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
     """
     clear_wire_caches()
 
+    from repro.common.metrics import METRICS
     from repro.crypto.keys import KeyStore
+    from repro.faults import FaultPlan
     from repro.perpetual.group import Topology, build_replica
     from repro.perpetual.voter import driver_name, voter_name
     from repro.scenario.apps import build_app, scenario_cost_model
     from repro.ws.adapter import WsAdapter, collecting_executor_factory
+
+    # Forked counters arrive pre-incremented from the parent; zero them
+    # so this worker's stats frames report only its own activity.
+    METRICS.reset()
 
     spec = ScenarioSpec.from_json(spec_json)
     decl = spec.service(service)
@@ -275,6 +286,10 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
         topology.add(s.name, s.n)
     keys = KeyStore.for_deployment(spec.name)
     built = build_app(decl.app)
+
+    # The fault script rides inside the spec JSON: rebuild the plan here
+    # so the adversary layer is identical to the in-process substrates.
+    fault_plan = FaultPlan.from_spec(spec)
 
     host = _WorkerHost(conn)
     adapters: list[WsAdapter] = []
@@ -286,6 +301,7 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
         app_factory=collecting_executor_factory(service, built.factory, adapters),
         cost_model=scenario_cost_model(spec, decl),
         clbft_overrides=decl.clbft,
+        fault_script=fault_plan.script_for(service, index),
     )
     voter.attach(host.add_node(voter_name(service, index), voter))
     driver.attach(host.add_node(driver_name(service, index), driver))
@@ -301,6 +317,9 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
             "requests_served": adapters[0].requests_served if adapters else 0,
             "first_issue_us": driver.first_issue_us or 0,
             "last_completion_us": driver.last_completion_us,
+            "view_changes": voter.replica.view_changes_completed,
+            "reply_cache_size": voter.reply_cache_size,
+            "counters": METRICS.snapshot(),
             "errors": list(host.errors),
         }
         if built.probe is not None:
@@ -345,12 +364,7 @@ class ProcessRuntime(Runtime):
 
     def deploy(self, spec: ScenarioSpec) -> "ProcessRuntime":
         spec.validate()
-        for fault in spec.faults:
-            if fault.kind != "crash":
-                raise ConfigurationError(
-                    f"process runtime supports only crash faults, "
-                    f"not {fault.kind!r}"
-                )
+        require_supported_kinds(spec, ("link",), self.name)
         # Fail fast on anything a worker could not rebuild from the spec
         # document alone, with the real error — a worker dying during
         # bootstrap would otherwise surface only as a ready-timeout 30
@@ -503,8 +517,13 @@ class ProcessRuntime(Runtime):
             self._broadcast("poll")
             time.sleep(self._poll_interval_s)
             with self._lock:
+                # "counters" is excluded from the stability comparison:
+                # serving the poll itself runs the wire codec, so the
+                # worker's METRICS snapshot moves on every poll and would
+                # keep an idle cluster looking busy forever.
                 snapshot = {
-                    key: {k: v for k, v in stats.items() if k != "pid"}
+                    key: {k: v for k, v in stats.items()
+                          if k not in ("pid", "counters")}
                     for key, stats in self._stats.items()
                 }
             complete = len(snapshot) == len(self._conns)
@@ -571,8 +590,23 @@ class ProcessRuntime(Runtime):
                 requests_served=data.get("requests_served", 0),
                 first_issue_us=data.get("first_issue_us", 0),
                 last_completion_us=data.get("last_completion_us", 0),
+                view_changes=max(
+                    (
+                        value.get("view_changes", 0)
+                        for (name, _i), value in stats.items()
+                        if name == decl.name
+                    ),
+                    default=0,
+                ),
+                reply_cache_size=data.get("reply_cache_size", 0),
                 app=dict(data.get("app") or {}),
             )
+        # Counters sum across workers: each zeroes METRICS at bootstrap,
+        # so the sum is exactly this run's activity.
+        counters: dict[str, int] = {}
+        for data in stats.values():
+            for key, value in (data.get("counters") or {}).items():
+                counters[key] = counters.get(key, 0) + value
         elapsed_us = int((time.monotonic() - self._epoch) * 1_000_000)
         return ScenarioMetrics(
             scenario=self._spec.name,
@@ -580,6 +614,7 @@ class ProcessRuntime(Runtime):
             services=services,
             now_us=max(elapsed_us, 0),
             processes=len(self._procs),
+            counters=counters,
         )
 
     def worker_errors(self) -> dict[tuple[str, int], list[str]]:

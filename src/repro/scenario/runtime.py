@@ -59,6 +59,10 @@ class ServiceMetrics:
     requests_served: int = 0
     first_issue_us: int = 0
     last_completion_us: int = 0
+    #: CLBFT view changes completed (max over the group's live replicas).
+    view_changes: int = 0
+    #: Observer voter's reply-store size (bounded by checkpoint GC).
+    reply_cache_size: int = 0
     #: Application probe output (workload counters, TPC-W stats, ...).
     app: dict = field(default_factory=dict)
 
@@ -74,6 +78,11 @@ class ScenarioMetrics:
     events_processed: int = 0
     #: OS processes hosting protocol nodes (1 for in-process substrates).
     processes: int = 1
+    #: Delta of :data:`repro.common.metrics.METRICS` over this run
+    #: (retransmissions, view_changes, faults_injected, cache_evictions,
+    #: and the wire/kernel counters). Process runtimes sum their workers'
+    #: snapshots.
+    counters: dict = field(default_factory=dict)
 
     def total_completed(self) -> int:
         return sum(s.completed_calls for s in self.services.values())

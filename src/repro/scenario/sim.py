@@ -21,6 +21,8 @@ from typing import Callable
 
 from repro.common.encoding import clear_wire_caches
 from repro.common.errors import ConfigurationError
+from repro.common.metrics import METRICS
+from repro.faults import FaultPlan
 from repro.crypto.cost import CryptoCostModel, MAC_COST_MODEL
 from repro.crypto.keys import KeyStore
 from repro.perpetual.executor import AppFactory
@@ -137,6 +139,7 @@ class Deployment:
         clbft_overrides: dict | None = None,
         engine_factory: Callable[[], SoapEngine] | None = None,
         hosts: list[str] | None = None,
+        fault_plan=None,
     ) -> ServiceDeployment:
         """Deploy a WS-level application as a replicated service."""
         self._ensure_declared(name, n)
@@ -154,6 +157,7 @@ class Deployment:
             cost_model=cost_model,
             clbft_overrides=clbft_overrides,
             hosts=hosts,
+            fault_plan=fault_plan,
         )
         deployed = ServiceDeployment(name=name, group=group, adapters=adapters)
         self.services[name] = deployed
@@ -257,6 +261,7 @@ class SimRuntime(Runtime):
         self.deployment: Deployment | None = None
         self._spec: ScenarioSpec | None = None
         self._probes: dict[str, Callable[[], dict] | None] = {}
+        self._metrics_base: dict[str, int] = {}
 
     def deploy(self, spec: ScenarioSpec) -> "SimRuntime":
         spec.validate()
@@ -264,6 +269,7 @@ class SimRuntime(Runtime):
         # cache state and dead message graphs from earlier runs are freed.
         clear_wire_caches()
         network, partition = build_network(spec)
+        fault_plan = FaultPlan.from_spec(spec)
         deployment = Deployment(name=spec.name, network=network)
         for decl in spec.services:
             deployment.declare(decl.name, decl.n)
@@ -275,6 +281,7 @@ class SimRuntime(Runtime):
                 cost_model=scenario_cost_model(spec, decl),
                 clbft_overrides=decl.clbft,
                 hosts=list(decl.hosts) if decl.hosts is not None else None,
+                fault_plan=None if fault_plan.empty else fault_plan,
             )
             self._probes[decl.name] = built.probe
         for fault in spec.faults:
@@ -283,6 +290,7 @@ class SimRuntime(Runtime):
                 partition.kill(driver_name(fault.service, fault.index))
         self.deployment = deployment
         self._spec = spec
+        self._metrics_base = METRICS.snapshot()
         return self
 
     def run(self, until_s: float | None = None) -> None:
@@ -309,8 +317,14 @@ class SimRuntime(Runtime):
                 ),
                 first_issue_us=driver.first_issue_us or 0,
                 last_completion_us=driver.last_completion_us,
+                view_changes=max(
+                    v.replica.view_changes_completed
+                    for v in deployed.group.voters
+                ),
+                reply_cache_size=voter.reply_cache_size,
                 app=probe() if probe is not None else {},
             )
+        snapshot = METRICS.snapshot()
         return ScenarioMetrics(
             scenario=self._spec.name,
             runtime=self.name,
@@ -318,6 +332,10 @@ class SimRuntime(Runtime):
             now_us=self.deployment.now_us,
             events_processed=self.deployment.sim.events_processed,
             processes=1,
+            counters={
+                key: value - self._metrics_base.get(key, 0)
+                for key, value in snapshot.items()
+            },
         )
 
     def shutdown(self) -> None:

@@ -24,8 +24,13 @@ from typing import Any, Callable
 
 from repro.common.errors import ConfigurationError
 
-FAULT_KINDS = ("crash", "link")
+FAULT_KINDS = ("crash", "link", "byzantine", "delay", "partition", "restart")
 NETWORK_KINDS = ("lan", "uniform")
+
+#: Byzantine behaviours accepted by ``FaultSpec(kind="byzantine")``.
+BYZANTINE_MODES = ("equivocate", "corrupt", "mute")
+
+_LINK_PARAM_KEYS = frozenset({"src", "dst", "drop", "extra_delay_us"})
 
 
 @dataclass(frozen=True)
@@ -75,12 +80,37 @@ class NetworkSpec:
 class FaultSpec:
     """One fault injection.
 
+    Enforced on every substrate (sim, threaded, process — workers on the
+    process substrate receive the fault script in their spawn payload):
+
     - ``crash``: replica ``index`` of ``service`` never speaks (its
       voter/driver pair is cut off — or, on the process substrate, never
       spawned);
+    - ``byzantine``: replica ``index`` of ``service`` runs the scripted
+      Byzantine behaviour in ``params["mode"]`` — ``"equivocate"``
+      (conflicting pre-prepares to disjoint replica halves while
+      primary), ``"corrupt"`` (garbled execution replies), or ``"mute"``
+      (a slow-drip primary that stalls ordering until the CLBFT
+      view-change timer fires); requires a group with f >= 1 (n >= 4);
+    - ``delay``: replica ``index`` of ``service`` defers every outbound
+      message by ``params["delay_us"]`` (+ optional deterministic
+      ``jitter_us``);
+    - ``partition``: splits ``service`` into ``params["side"]`` (replica
+      indices) vs the rest from ``start_after_us`` (default 0) until the
+      ``heal_after_us`` deadline;
+    - ``restart``: replica ``index`` of ``service`` crashes at
+      ``params["down_after_us"]`` (default 0) and rejoins at
+      ``params["up_after_us"]``, catching up from retransmissions and
+      stable checkpoints.
+
+    **Simulator only** (the other substrates' network is the actual
+    machine, so per-link shaping cannot be enforced; ThreadedRuntime and
+    ProcessRuntime reject it with a ConfigurationError):
+
     - ``link``: per-link drop/delay rules, ``params`` holding ``src``,
-      ``dst`` (``"*"`` wildcards), ``drop`` probability and/or
-      ``extra_delay_us`` (simulator only).
+      ``dst`` (principal names like ``"svc/v0"``/``"svc/d0"`` or ``"*"``
+      wildcards), ``drop`` probability in [0, 1] and/or a non-negative
+      ``extra_delay_us``.
     """
 
     kind: str
@@ -154,14 +184,123 @@ class ScenarioSpec:
                     f"unknown fault kind {fault.kind!r} "
                     f"(known: {', '.join(FAULT_KINDS)})"
                 )
-            if fault.kind == "crash":
-                decl = self.service(fault.service)
-                if not 0 <= fault.index < decl.n:
+            if fault.kind == "link":
+                self._validate_link_fault(fault)
+                continue
+            # Every remaining kind names a (service, index) replica;
+            # partition uses the service but addresses replicas via
+            # params["side"].
+            decl = self.service(fault.service)
+            if fault.kind != "partition" and not 0 <= fault.index < decl.n:
+                raise ConfigurationError(
+                    f"{fault.kind} fault index {fault.index} out of range "
+                    f"for service {fault.service!r} (n={decl.n})"
+                )
+            if fault.kind == "byzantine":
+                mode = fault.params.get("mode", "equivocate")
+                if mode not in BYZANTINE_MODES:
                     raise ConfigurationError(
-                        f"crash fault index {fault.index} out of range for "
+                        f"unknown byzantine mode {mode!r} "
+                        f"(known: {', '.join(BYZANTINE_MODES)})"
+                    )
+                if decl.n < 4:
+                    raise ConfigurationError(
+                        f"byzantine fault on service {fault.service!r} "
+                        f"needs a group tolerating at least one fault "
+                        f"(n >= 4, got n={decl.n})"
+                    )
+            elif fault.kind == "delay":
+                delay_us = fault.params.get("delay_us")
+                if not isinstance(delay_us, int) or delay_us < 1:
+                    raise ConfigurationError(
+                        f"delay fault on {fault.service!r}/{fault.index} "
+                        f"needs a positive integer delay_us "
+                        f"(got {delay_us!r})"
+                    )
+                jitter = fault.params.get("jitter_us", 0)
+                if not isinstance(jitter, int) or jitter < 0:
+                    raise ConfigurationError(
+                        f"delay fault jitter_us must be a non-negative "
+                        f"integer (got {jitter!r})"
+                    )
+            elif fault.kind == "partition":
+                side = fault.params.get("side")
+                if (not isinstance(side, (list, tuple)) or not side
+                        or not all(isinstance(i, int) for i in side)):
+                    raise ConfigurationError(
+                        f"partition fault on service {fault.service!r} "
+                        f"needs a non-empty integer list in params['side']"
+                    )
+                if not all(0 <= i < decl.n for i in side):
+                    raise ConfigurationError(
+                        f"partition side {list(side)} out of range for "
                         f"service {fault.service!r} (n={decl.n})"
                     )
+                if len(set(side)) >= decl.n:
+                    raise ConfigurationError(
+                        f"partition side must be a proper subset of "
+                        f"service {fault.service!r}'s replicas"
+                    )
+                start = fault.params.get("start_after_us", 0)
+                heal = fault.params.get("heal_after_us")
+                if (not isinstance(start, int) or start < 0
+                        or not isinstance(heal, int) or heal <= start):
+                    raise ConfigurationError(
+                        f"partition fault on {fault.service!r} needs "
+                        f"0 <= start_after_us < heal_after_us "
+                        f"(got {start!r}, {heal!r})"
+                    )
+            elif fault.kind == "restart":
+                down = fault.params.get("down_after_us", 0)
+                up = fault.params.get("up_after_us")
+                if (not isinstance(down, int) or down < 0
+                        or not isinstance(up, int) or up <= down):
+                    raise ConfigurationError(
+                        f"restart fault on {fault.service!r}/{fault.index} "
+                        f"needs 0 <= down_after_us < up_after_us "
+                        f"(got {down!r}, {up!r})"
+                    )
         return self
+
+    def _validate_link_fault(self, fault: "FaultSpec") -> None:
+        unknown = set(fault.params) - _LINK_PARAM_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"link fault has unknown params {sorted(unknown)} "
+                f"(known: {sorted(_LINK_PARAM_KEYS)})"
+            )
+        for role in ("src", "dst"):
+            endpoint = fault.params.get(role)
+            if endpoint == "*":
+                continue
+            if not isinstance(endpoint, str) or not self._is_principal(endpoint):
+                raise ConfigurationError(
+                    f"link fault {role} {endpoint!r} names no principal: "
+                    f"expected '*' or 'service/vN'/'service/dN' with a "
+                    f"declared service and in-range replica index"
+                )
+        drop = fault.params.get("drop", 0.0)
+        if not isinstance(drop, (int, float)) or not 0.0 <= drop <= 1.0:
+            raise ConfigurationError(
+                f"link fault drop probability must lie in [0, 1] "
+                f"(got {drop!r})"
+            )
+        extra = fault.params.get("extra_delay_us", 0)
+        if not isinstance(extra, int) or extra < 0:
+            raise ConfigurationError(
+                f"link fault extra_delay_us must be a non-negative "
+                f"integer (got {extra!r})"
+            )
+
+    def _is_principal(self, name: str) -> bool:
+        service, sep, tail = name.rpartition("/")
+        if (not sep or len(tail) < 2 or tail[0] not in ("v", "d")
+                or not tail[1:].isdigit()):
+            return False
+        for decl in self.services:
+            if decl.name == service:
+                return int(tail[1:]) < decl.n
+        return False
 
     # ------------------------------------------------------------------
     # JSON round trip
@@ -333,6 +472,59 @@ class ScenarioBuilder:
         """Inject per-link faults (``drop``, ``extra_delay_us``); sim only."""
         self._faults.append(
             FaultSpec(kind="link", params=dict(params, src=src, dst=dst))
+        )
+        return self
+
+    def byzantine(
+        self, service: str, index: int, mode: str = "equivocate"
+    ) -> "ScenarioBuilder":
+        """Script replica ``index`` of ``service`` as Byzantine
+        (``equivocate`` / ``corrupt`` / ``mute``)."""
+        self._faults.append(
+            FaultSpec(kind="byzantine", service=service, index=index,
+                      params={"mode": mode})
+        )
+        return self
+
+    def delay(
+        self, service: str, index: int, delay_us: int, jitter_us: int = 0
+    ) -> "ScenarioBuilder":
+        """Defer every message replica ``index`` of ``service`` sends."""
+        params: dict = {"delay_us": delay_us}
+        if jitter_us:
+            params["jitter_us"] = jitter_us
+        self._faults.append(
+            FaultSpec(kind="delay", service=service, index=index, params=params)
+        )
+        return self
+
+    def partition(
+        self,
+        service: str,
+        side: list[int],
+        heal_after_us: int,
+        start_after_us: int = 0,
+    ) -> "ScenarioBuilder":
+        """Split ``service`` into ``side`` vs the rest until the heal
+        deadline."""
+        params: dict = {"side": list(side), "heal_after_us": heal_after_us}
+        if start_after_us:
+            params["start_after_us"] = start_after_us
+        self._faults.append(
+            FaultSpec(kind="partition", service=service, params=params)
+        )
+        return self
+
+    def restart(
+        self, service: str, index: int, up_after_us: int, down_after_us: int = 0
+    ) -> "ScenarioBuilder":
+        """Crash replica ``index`` of ``service`` at ``down_after_us``
+        and bring it back at ``up_after_us``."""
+        params: dict = {"up_after_us": up_after_us}
+        if down_after_us:
+            params["down_after_us"] = down_after_us
+        self._faults.append(
+            FaultSpec(kind="restart", service=service, index=index, params=params)
         )
         return self
 

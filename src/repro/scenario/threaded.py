@@ -6,8 +6,12 @@
 gets a consumer thread, messages race through thread-safe mailboxes, and
 timers fire from a shared wheel. There is no modelled network — latency
 parameters in the spec are ignored (real queues are the network) — and
-``link`` faults are rejected as unsupported; ``crash`` faults map to
-:meth:`ThreadedCluster.drop_node` on the replica's voter/driver pair.
+``link`` faults are rejected as unsupported (they parameterise the
+modelled network, which only the simulator has). ``crash`` faults map to
+:meth:`ThreadedCluster.drop_node` on the replica's voter/driver pair;
+``byzantine``, ``delay``, ``partition``, and ``restart`` faults run
+through the same :class:`repro.faults.FaultInjector` hooks as every
+other substrate.
 
 ``run`` starts the cluster and parks until quiescence (every mailbox
 stays empty) or the wall-clock budget elapses, then reports the same
@@ -21,8 +25,9 @@ import time
 from typing import Callable
 
 from repro.common.encoding import clear_wire_caches
-from repro.common.errors import ConfigurationError
+from repro.common.metrics import METRICS
 from repro.crypto.keys import KeyStore
+from repro.faults import FaultPlan, require_supported_kinds
 from repro.perpetual.group import ServiceGroup, Topology
 from repro.perpetual.voter import driver_name, voter_name
 from repro.runtime.cluster import ThreadedCluster
@@ -50,6 +55,7 @@ class ThreadedRuntime(Runtime):
         self._adapters: dict[str, list[WsAdapter]] = {}
         self._probes: dict[str, Callable[[], dict] | None] = {}
         self._epoch = 0.0
+        self._metrics_base: dict[str, int] = {}
 
     def _ws_factory(self, service: str, built: BuiltApp):
         return collecting_executor_factory(
@@ -58,12 +64,8 @@ class ThreadedRuntime(Runtime):
 
     def deploy(self, spec: ScenarioSpec) -> "ThreadedRuntime":
         spec.validate()
-        for fault in spec.faults:
-            if fault.kind != "crash":
-                raise ConfigurationError(
-                    f"threaded runtime supports only crash faults, "
-                    f"not {fault.kind!r}"
-                )
+        require_supported_kinds(spec, ("link",), self.name)
+        fault_plan = FaultPlan.from_spec(spec)
         # Cold wire caches per deployment, as on every substrate.
         clear_wire_caches()
         cluster = ThreadedCluster()
@@ -83,12 +85,15 @@ class ThreadedRuntime(Runtime):
                 self._ws_factory(decl.name, built),
                 cost_model=scenario_cost_model(spec, decl),
                 clbft_overrides=decl.clbft,
+                fault_plan=None if fault_plan.empty else fault_plan,
             )
         for fault in spec.faults:
-            cluster.drop_node(voter_name(fault.service, fault.index))
-            cluster.drop_node(driver_name(fault.service, fault.index))
+            if fault.kind == "crash":
+                cluster.drop_node(voter_name(fault.service, fault.index))
+                cluster.drop_node(driver_name(fault.service, fault.index))
         self.cluster = cluster
         self._spec = spec
+        self._metrics_base = METRICS.snapshot()
         return self
 
     def _live_drivers(self):
@@ -157,15 +162,24 @@ class ThreadedRuntime(Runtime):
                 ),
                 first_issue_us=driver.first_issue_us or 0,
                 last_completion_us=driver.last_completion_us,
+                view_changes=max(
+                    v.replica.view_changes_completed for v in group.voters
+                ),
+                reply_cache_size=voter.reply_cache_size,
                 app=probe() if probe is not None else {},
             )
         elapsed_us = int((time.monotonic() - self._epoch) * 1_000_000)
+        snapshot = METRICS.snapshot()
         return ScenarioMetrics(
             scenario=self._spec.name,
             runtime=self.name,
             services=services,
             now_us=max(elapsed_us, 0),
             processes=1,
+            counters={
+                key: value - self._metrics_base.get(key, 0)
+                for key, value in snapshot.items()
+            },
         )
 
     def shutdown(self) -> None:

@@ -1,0 +1,173 @@
+"""Integration: scripted Byzantine adversaries on the simulator.
+
+Each chaos shape gets a small deterministic scenario: the protocol must
+complete every correct request *despite* the adversary, record the
+liveness machinery working (view changes, retransmissions, checkpoint
+GC), and reproduce bit-identically across same-seed runs. The full-size
+chaos presets ride in the ``soak`` marker, excluded from tier-1 runs.
+"""
+
+import pytest
+
+from repro.scenario.presets import (
+    chaos_equivocating_primary,
+    chaos_partition_heal,
+    chaos_slow_drip,
+    chaos_soak,
+)
+from repro.scenario.runtime import run_scenario
+from repro.scenario.spec import ScenarioBuilder
+
+
+def echo_chaos(name, total_calls=6, n=4, duration_s=60.0):
+    return (
+        ScenarioBuilder(name)
+        .duration(duration_s)
+        .service("target", n=n, app="echo")
+        .service("caller", n=1, app="sync_caller",
+                 target="target", total_calls=total_calls)
+    )
+
+
+def test_equivocating_primary_completes_via_view_change():
+    spec = (
+        echo_chaos("equivocate-sim")
+        .byzantine("target", 0, mode="equivocate")
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 6
+    assert metrics.services["caller"].aborted_calls == 0
+    # The conflicting pre-prepares stalled ordering until a view change
+    # moved the primary off the equivocator.
+    assert metrics.services["target"].view_changes >= 1
+    assert metrics.counters["faults_injected"] >= 1
+    assert metrics.counters["view_changes"] >= 1
+
+
+def test_equivocating_primary_run_is_deterministic():
+    spec = (
+        echo_chaos("equivocate-determinism", total_calls=4)
+        .byzantine("target", 0, mode="equivocate")
+        .build()
+    )
+    a = run_scenario(spec, runtime="sim")
+    b = run_scenario(spec, runtime="sim")
+    assert a.now_us == b.now_us
+    assert a.events_processed == b.events_processed
+    assert a.counters == b.counters
+    assert a.services["caller"].last_completion_us == \
+        b.services["caller"].last_completion_us
+
+
+def test_mute_primary_completes_via_view_change():
+    spec = (
+        echo_chaos("mute-sim")
+        .byzantine("target", 0, mode="mute")
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 6
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.services["target"].view_changes >= 1
+
+
+def test_corrupt_replica_outvoted_by_matching_copies():
+    spec = (
+        echo_chaos("corrupt-sim")
+        .byzantine("target", 1, mode="corrupt")
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 6
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.counters["faults_injected"] >= 1
+
+
+def test_delayed_replica_slows_nothing_down_fatally():
+    spec = (
+        echo_chaos("delay-sim")
+        .delay("target", 0, delay_us=2_000, jitter_us=500)
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 6
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.counters["faults_injected"] >= 1
+
+
+def test_restart_replica_rejoins_and_catches_up():
+    spec = (
+        echo_chaos("restart-sim", total_calls=8)
+        .restart("target", 1, up_after_us=1_500_000, down_after_us=200_000)
+        .build()
+    )
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 8
+    assert metrics.services["caller"].aborted_calls == 0
+
+
+def test_partition_heal_preset_completes_after_heal():
+    spec = chaos_partition_heal(total_calls=8, heal_after_us=1_500_000,
+                                duration_s=90.0)
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 8
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.counters["faults_injected"] >= 1
+
+
+def test_checkpoint_gc_bounds_reply_cache():
+    # 80 requests against a checkpoint interval of 8: without the
+    # checkpoint-driven GC the voter reply cache would hold all 80.
+    spec = chaos_soak(total_calls=80, checkpoint_interval=8,
+                      duration_s=300.0)
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 80
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.services["target"].reply_cache_size <= 16
+    assert metrics.counters["cache_evictions"] > 0
+
+
+@pytest.mark.soak
+def test_soak_preset_cache_stays_bounded_over_400_calls():
+    spec = chaos_soak()
+    metrics = run_scenario(spec, runtime="sim")
+    caller = metrics.services["caller"]
+    assert caller.completed_calls == 400
+    assert caller.aborted_calls == 0
+    # Bounded by the checkpoint interval, not the request count.
+    assert metrics.services["target"].reply_cache_size * 10 < 400
+    assert metrics.counters["cache_evictions"] > 0
+
+
+@pytest.mark.soak
+def test_soak_slow_drip_preset():
+    spec = chaos_slow_drip()
+    metrics = run_scenario(spec, runtime="sim")
+    assert metrics.services["caller"].completed_calls == 8
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.services["target"].view_changes >= 1
+
+
+@pytest.mark.soak
+def test_soak_equivocating_primary_under_tpcw_load():
+    # The acceptance scenario: a full TPC-W mix with an equivocating PGE
+    # primary. Every correct request completes, at least one view change
+    # runs to completion, and the run is deterministic.
+    spec = chaos_equivocating_primary()
+    a = run_scenario(spec, runtime="sim")
+    b = run_scenario(spec, runtime="sim")
+    total_completed = sum(
+        svc.completed_calls for name, svc in a.services.items()
+        if name.startswith("rbe")
+    )
+    total_aborted = sum(
+        svc.aborted_calls for name, svc in a.services.items()
+        if name.startswith("rbe")
+    )
+    assert total_completed > 0
+    assert total_aborted == 0
+    assert a.services["pge"].view_changes >= 1
+    assert a.now_us == b.now_us
+    assert a.events_processed == b.events_processed
+    assert a.counters == b.counters

@@ -116,6 +116,52 @@ def scenario_specs(draw) -> ScenarioSpec:
             },
         ),
     )
+    byzantine_faults = st.builds(
+        FaultSpec,
+        kind=st.just("byzantine"),
+        service=st.sampled_from(names),
+        index=st.integers(0, 6),
+        params=st.fixed_dictionaries(
+            {"mode": st.sampled_from(["equivocate", "corrupt", "mute"])}
+        ),
+    )
+    delay_faults = st.builds(
+        FaultSpec,
+        kind=st.just("delay"),
+        service=st.sampled_from(names),
+        index=st.integers(0, 6),
+        params=st.fixed_dictionaries(
+            {"delay_us": st.integers(1, 1_000_000)},
+            optional={"jitter_us": st.integers(0, 100_000)},
+        ),
+    )
+    partition_faults = st.builds(
+        FaultSpec,
+        kind=st.just("partition"),
+        service=st.sampled_from(names),
+        index=st.just(0),
+        params=st.fixed_dictionaries(
+            {
+                "side": st.lists(st.integers(0, 6), min_size=1, max_size=3),
+                "heal_after_us": st.integers(1, 10_000_000),
+            },
+            optional={"start_after_us": st.integers(0, 1_000_000)},
+        ),
+    )
+    restart_faults = st.builds(
+        FaultSpec,
+        kind=st.just("restart"),
+        service=st.sampled_from(names),
+        index=st.integers(0, 6),
+        params=st.fixed_dictionaries(
+            {"up_after_us": st.integers(1, 10_000_000)},
+            optional={"down_after_us": st.integers(0, 1_000_000)},
+        ),
+    )
+    fault_specs = st.one_of(
+        crash_faults, link_faults, byzantine_faults,
+        delay_faults, partition_faults, restart_faults,
+    )
     return ScenarioSpec(
         name=draw(st.text(min_size=1, max_size=16)),
         services=services,
@@ -133,9 +179,7 @@ def scenario_specs(draw) -> ScenarioSpec:
                 ),
             )
         ),
-        faults=tuple(
-            draw(st.lists(st.one_of(crash_faults, link_faults), max_size=3))
-        ),
+        faults=tuple(draw(st.lists(fault_specs, max_size=3))),
         duration_s=draw(
             st.floats(min_value=0.0, max_value=1e6,
                       allow_nan=False, allow_infinity=False)

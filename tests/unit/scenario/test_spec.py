@@ -197,3 +197,137 @@ class TestServiceDecl:
         assert decl.crypto is None
         assert decl.hosts is None
         assert decl.clbft is None
+
+
+def fault_builder(n=4):
+    return (
+        ScenarioBuilder("fault-validation")
+        .service("target", n=n, app="echo")
+        .service("caller", n=1, app="sync_caller",
+                 target="target", total_calls=1)
+    )
+
+
+class TestLinkFaultValidation:
+    def test_unknown_param_key_rejected(self):
+        builder = fault_builder().link_fault("caller/d0", "*", dorp=0.5)
+        with pytest.raises(ConfigurationError, match="unknown params"):
+            builder.build()
+
+    def test_endpoint_must_name_a_declared_principal(self):
+        for endpoint in ("caller", "ghost/v0", "target/v9", "target/x0"):
+            builder = fault_builder().link_fault(endpoint, "*")
+            with pytest.raises(ConfigurationError, match="principal"):
+                builder.build()
+
+    def test_wildcard_and_in_range_principals_accepted(self):
+        spec = (
+            fault_builder()
+            .link_fault("*", "target/v3", drop=1.0)
+            .link_fault("caller/d0", "*", extra_delay_us=0)
+            .build()
+        )
+        assert len(spec.faults) == 2
+
+    def test_drop_probability_bounds(self):
+        for drop in (-0.1, 1.5, "half"):
+            builder = fault_builder().link_fault("*", "*", drop=drop)
+            with pytest.raises(ConfigurationError, match="drop"):
+                builder.build()
+
+    def test_negative_extra_delay_rejected(self):
+        builder = fault_builder().link_fault("*", "*", extra_delay_us=-5)
+        with pytest.raises(ConfigurationError, match="extra_delay_us"):
+            builder.build()
+
+
+class TestReplicaFaultValidation:
+    def test_unknown_fault_kind_rejected(self):
+        spec = fault_builder().build()
+        bad = spec.with_(faults=(FaultSpec(kind="gremlin", service="target"),))
+        with pytest.raises(ConfigurationError, match="gremlin"):
+            bad.validate()
+
+    def test_unknown_byzantine_mode_rejected(self):
+        builder = fault_builder().byzantine("target", 0, mode="lazy")
+        with pytest.raises(ConfigurationError, match="byzantine mode"):
+            builder.build()
+
+    def test_byzantine_needs_fault_tolerant_group(self):
+        builder = fault_builder(n=3).byzantine("target", 0)
+        with pytest.raises(ConfigurationError, match="n >= 4"):
+            builder.build()
+
+    def test_index_out_of_range_rejected_for_each_kind(self):
+        for builder in (
+            fault_builder().byzantine("target", 4),
+            fault_builder().delay("target", -1, delay_us=100),
+            fault_builder().restart("target", 9, up_after_us=100),
+        ):
+            with pytest.raises(ConfigurationError, match="out of range"):
+                builder.build()
+
+    def test_delay_needs_positive_integer_delay(self):
+        for delay_us in (0, -100, 1.5):
+            spec = fault_builder().build().with_(faults=(
+                FaultSpec(kind="delay", service="target", index=0,
+                          params={"delay_us": delay_us}),
+            ))
+            with pytest.raises(ConfigurationError, match="delay_us"):
+                spec.validate()
+
+    def test_delay_jitter_must_be_non_negative(self):
+        builder = fault_builder().delay("target", 0, delay_us=10, jitter_us=-1)
+        with pytest.raises(ConfigurationError, match="jitter_us"):
+            builder.build()
+
+    def test_partition_side_must_be_proper_in_range_subset(self):
+        cases = [
+            ([], "non-empty"),
+            ([0, 4], "out of range"),
+            ([0, 1, 2, 3], "proper subset"),
+        ]
+        for side, message in cases:
+            builder = fault_builder().partition(
+                "target", side, heal_after_us=1000
+            )
+            with pytest.raises(ConfigurationError, match=message):
+                builder.build()
+
+    def test_partition_window_must_be_ordered(self):
+        builder = fault_builder().partition(
+            "target", [0], heal_after_us=100, start_after_us=100
+        )
+        with pytest.raises(ConfigurationError, match="heal_after_us"):
+            builder.build()
+
+    def test_restart_window_must_be_ordered(self):
+        builder = fault_builder().restart(
+            "target", 0, up_after_us=50, down_after_us=50
+        )
+        with pytest.raises(ConfigurationError, match="up_after_us"):
+            builder.build()
+
+    def test_fault_on_unknown_service_rejected(self):
+        builder = fault_builder().byzantine("ghost", 0)
+        with pytest.raises(ConfigurationError, match="ghost"):
+            builder.build()
+
+    def test_new_fault_kinds_round_trip_through_json(self):
+        spec = (
+            fault_builder()
+            .byzantine("target", 0, mode="mute")
+            .delay("target", 1, delay_us=250, jitter_us=40)
+            .partition("target", [3], heal_after_us=2_000_000,
+                       start_after_us=500_000)
+            .restart("target", 2, up_after_us=800_000, down_after_us=100_000)
+            .build()
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert [f.kind for f in restored.faults] == [
+            "byzantine", "delay", "partition", "restart",
+        ]
+        # The restored document revalidates cleanly (what the process
+        # substrate's workers do with the spawn-payload JSON).
+        restored.validate()
