@@ -1,0 +1,238 @@
+"""Core of the invariant linter: rules, violations, and suppressions.
+
+The protocol stack's correctness rests on invariants no general-purpose
+tool checks: bit-identical replay on the simulator substrate, the
+encode-once/digest-once wire contract, and lock discipline on the state
+the live substrates' threads share. :mod:`repro.analysis` enforces them
+statically — every rule is a small AST pass over one file, registered
+here and dispatched by :mod:`repro.analysis.engine`.
+
+Two comment conventions thread through the rules:
+
+- ``# analysis: allow(RULE-ID[, RULE-ID...]) — reason`` suppresses the
+  named rules for the statement the comment sits on (trailing) or the
+  statement directly below (standalone comment line). Suppressions are
+  meant to *document* an exception, so write the reason.
+- ``# analysis: guarded-by(<what>)`` marks a shared-state write the
+  lock-discipline checker should accept without a ``with <lock>:``
+  context — e.g. single-threaded phases — naming the discipline that
+  actually protects it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+_ALLOW_RE = re.compile(r"#\s*analysis:\s*allow\(\s*([A-Z0-9,\s-]+?)\s*\)")
+_GUARDED_RE = re.compile(r"#\s*analysis:\s*guarded-by\(\s*([^)]+?)\s*\)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Last line of the flagged node — a suppression comment anywhere in
+    #: [line, end_line] covers the finding. Not part of the output schema.
+    end_line: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def module_key(path: str) -> str:
+    """The repo-relative module key a path is scoped by.
+
+    Everything after the last ``repro`` package directory in the path:
+    ``src/repro/clbft/replica.py`` -> ``clbft/replica.py``. Fixture
+    trees reuse the convention (``.../fixtures/repro/sim/bad.py`` ->
+    ``sim/bad.py``) so rule scoping is testable without touching src.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[anchor + 1:]
+        if tail:
+            return "/".join(tail)
+    return parts[-1]
+
+
+class SourceFile:
+    """One parsed file plus its suppression / annotation maps."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.module = module_key(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        # line -> rule ids allowed there; line -> guarded-by annotation.
+        self.allows: dict[int, frozenset[str]] = {}
+        self.guards: dict[int, str] = {}
+        self._scan_comments(text)
+
+    def _scan_comments(self, text: str) -> None:
+        pending_allow: set[str] = set()
+        pending_guard: str | None = None
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            allow = _ALLOW_RE.search(line)
+            guard = _GUARDED_RE.search(line)
+            ids = (
+                {part.strip() for part in allow.group(1).split(",") if part.strip()}
+                if allow
+                else set()
+            )
+            if stripped.startswith("#"):
+                # Standalone comment: applies to the next code line.
+                pending_allow |= ids
+                if guard:
+                    pending_guard = guard.group(1)
+                continue
+            if not stripped:
+                continue
+            effective = pending_allow | ids
+            if effective:
+                self.allows[lineno] = frozenset(effective)
+            if guard:
+                self.guards[lineno] = guard.group(1)
+            elif pending_guard is not None:
+                self.guards[lineno] = pending_guard
+            pending_allow = set()
+            pending_guard = None
+
+    # -- queries the rules use ------------------------------------------------
+
+    def is_suppressed(self, rule_id: str, node: ast.AST) -> bool:
+        """True if an ``allow`` comment covers any line the node spans."""
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        for line in range(start, end + 1):
+            ids = self.allows.get(line)
+            if ids and (rule_id in ids or "ALL" in ids):
+                return True
+        return False
+
+    def guard_annotation(self, node: ast.AST) -> str | None:
+        """The ``guarded-by`` annotation covering the node, if any."""
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        for line in range(start, end + 1):
+            if line in self.guards:
+                return self.guards[line]
+        return None
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 0)
+        return Violation(
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            message=message,
+            end_line=getattr(node, "end_lineno", line) or line,
+        )
+
+
+class Rule:
+    """One lint rule. Subclasses register via :func:`register`."""
+
+    #: Stable identifier, e.g. ``DET001`` — what suppressions name.
+    id: str = ""
+    #: One-line summary for ``--rules`` and the README catalog.
+    title: str = ""
+    #: Why the invariant matters (shown in ``--rules``).
+    rationale: str = ""
+
+    def applies_to(self, module: str) -> bool:
+        return True
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+RULES: list[Rule] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    RULES.append(cls())
+    return cls
+
+
+def rules_for(module: str) -> list[Rule]:
+    return [rule for rule in RULES if rule.applies_to(module)]
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+class ImportMap:
+    """Resolves names in one file back to the modules they came from.
+
+    ``import time as t`` maps ``t`` -> ``time``; ``from time import
+    time`` maps ``time`` -> ``time.time``. Rules use this to recognise
+    wall-clock and RNG access however it was imported.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def qualify(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute expression, if importable."""
+        if isinstance(node, ast.Name):
+            if node.id in self.modules:
+                return self.modules[node.id]
+            return self.names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.qualify(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The unqualified name a call is made through, if syntactic."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``X`` when the node is ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

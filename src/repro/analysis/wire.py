@@ -1,0 +1,180 @@
+"""Wire-contract rules: encode once, digest once, sign through the channel.
+
+PR 1 made the fused codec + :class:`~repro.common.encoding.WireBlob` the
+single serialisation boundary: a multicast encodes its payload exactly
+once and digests it exactly once, which the METRICS counters can only
+*observe* at runtime. These rules make the contract structural — protocol
+code that encodes, digests, or builds envelopes by hand is flagged at
+review time, not after a perf regression.
+
+Suppressions (``# analysis: allow(WIRE00x) — reason``) mark the
+deliberate exceptions: match-key derivations that are memoized per
+message object, MAC-input bytes both ends must derive independently,
+and proof verification that re-decodes embedded envelopes by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ImportMap, Rule, SourceFile, Violation, register
+
+#: Modules that *are* the wire layer: the codec itself, the envelope
+#: framing, the signing channel, and the pipe transport of the process
+#: substrate (its router/worker frames are wire plumbing, not protocol).
+CODEC_MODULES = (
+    "common/encoding.py",
+    "transport/wire.py",
+    "transport/channel.py",
+    "clbft/messages.py",
+    "crypto/digest.py",
+    "scenario/process.py",
+    "analysis/",
+)
+
+#: Modules allowed to call the digest helpers directly: the crypto
+#: layer and the wire layer's own memoized digest properties.
+DIGEST_MODULES = (
+    "crypto/",
+    "common/encoding.py",
+    "transport/",
+    "analysis/",
+)
+
+#: Modules allowed to construct WireEnvelope: the signing path and the
+#: envelope codec.
+ENVELOPE_MODULES = (
+    "transport/channel.py",
+    "transport/wire.py",
+    "analysis/",
+)
+
+_CODEC_NAMES = frozenset(
+    (
+        "encode_message",
+        "decode_message",
+        "canonical_encode",
+        "encode_payload",
+        "decode_payload",
+    )
+)
+
+_DIGEST_NAMES = frozenset(("digest", "digest_hex"))
+
+
+def _allowed(module: str, allowlist: tuple[str, ...]) -> bool:
+    return any(
+        module == entry or (entry.endswith("/") and module.startswith(entry))
+        for entry in allowlist
+    )
+
+
+def _named_calls(src: SourceFile, names: frozenset[str]) -> Iterator[ast.Call]:
+    """Calls made directly through one of ``names``.
+
+    Only ``Name`` callees count: passing a codec as an argument
+    (``encode=encode_message``) hands it to the channel, which is the
+    sanctioned path.
+    """
+    for node in ast.walk(src.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in names
+        ):
+            yield node
+
+
+@register
+class DirectCodecRule(Rule):
+    id = "WIRE001"
+    title = "no direct codec calls outside the wire layer"
+    rationale = (
+        "Every encode outside ChannelAdapter/WireBlob is a second walk "
+        "over the same message — the encode-once contract the METRICS "
+        "counters pin at runtime. Send objects (or WireBlobs) through "
+        "the channel; inject codecs via the encode=/decode= parameters."
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not _allowed(module, CODEC_MODULES)
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        for node in _named_calls(src, _CODEC_NAMES):
+            yield src.violation(
+                self,
+                node,
+                f"direct {node.func.id}() call outside the wire layer — "
+                "route through ChannelAdapter/WireBlob (wire_blob) or "
+                "suppress with a justification",
+            )
+
+
+@register
+class DirectDigestRule(Rule):
+    id = "WIRE002"
+    title = "no direct digest calls outside the wire/crypto layer"
+    rationale = (
+        "WireBlob.digest and WireEnvelope.payload_digest memoize one "
+        "digest per message; a bare digest()/digest_hex() call "
+        "recomputes per caller and silently defeats the digest-once "
+        "contract. Derived keys must be memoized (IdentityMemo) and "
+        "documented with a suppression."
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not _allowed(module, DIGEST_MODULES)
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        imports = ImportMap(src.tree)
+        # Only flag names actually imported from the crypto digest
+        # module — an unrelated local helper named ``digest`` is not a
+        # wire-contract concern.
+        digest_names = frozenset(
+            name
+            for name, origin in imports.names.items()
+            if origin
+            in ("repro.crypto.digest.digest", "repro.crypto.digest.digest_hex")
+        )
+        if not digest_names:
+            return
+        for node in _named_calls(src, digest_names):
+            yield src.violation(
+                self,
+                node,
+                f"direct {node.func.id}() call — share "
+                "WireBlob.digest/payload_digest or memoize via "
+                "IdentityMemo, then suppress with a justification",
+            )
+
+
+@register
+class EnvelopeConstructionRule(Rule):
+    id = "WIRE003"
+    title = "no WireEnvelope construction outside the signing path"
+    rationale = (
+        "An envelope built by hand bypasses ChannelAdapter.multicast_to "
+        "— the only place the authenticator, the blob cache, and the "
+        "cost model meet. Envelopes come from the channel (sending) or "
+        "envelope_from_wire (decoding); anything else forges the fused "
+        "codec's invariants."
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not _allowed(module, ENVELOPE_MODULES)
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "WireEnvelope"
+            ):
+                yield src.violation(
+                    self,
+                    node,
+                    "WireEnvelope constructed outside the signing path — "
+                    "send through ChannelAdapter or decode via "
+                    "envelope_from_wire",
+                )

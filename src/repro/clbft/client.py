@@ -73,6 +73,8 @@ class ClbftClient:
         timestamp = reply.timestamp
         if timestamp not in self._outstanding:
             return
+        # analysis: allow(WIRE002) — unreplicated client's local vote key
+        # over an already-decoded reply; no wire blob exists to share
         value_key = digest_hex(("reply", reply.result))
         votes = self._votes.setdefault(timestamp, {})
         votes[src_index] = value_key

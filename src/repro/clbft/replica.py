@@ -43,6 +43,7 @@ from repro.common.metrics import METRICS
 from repro.crypto.digest import digest
 
 VIEW_CHANGE_TIMER = "clbft-view-change"
+# analysis: allow(WIRE002) — module constant, digested once at import
 NULL_DIGEST = digest(("null",))
 
 # Backups sharing one decoded pre-prepare share its requests tuple, so
@@ -56,6 +57,9 @@ def batch_digest(requests: tuple) -> bytes:
     Taken over the fused wire encoding in one walk; every replica uses
     this same function, so only internal consistency matters.
     """
+    # analysis: allow(WIRE001, WIRE002) — computed once per batch object
+    # via the IdentityMemo above; backups sharing a decoded pre-prepare
+    # share the result
     return _BATCH_DIGESTS.get(requests, lambda r: digest(encode_message(r)))
 
 
@@ -88,6 +92,8 @@ class ClbftReplica:
         self._set_timer = set_timer
         self._cancel_timer = cancel_timer
         self._send_reply = send_reply
+        # analysis: allow(WIRE002) — checkpoint state digest, taken once
+        # per checkpoint interval (K), never per message
         self._state_digest = state_digest or (lambda: digest(self.log.last_executed))
         self._new_view_callback = on_new_view
         self._stable_checkpoint_callback = on_stable_checkpoint

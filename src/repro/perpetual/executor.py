@@ -342,6 +342,9 @@ class ExecutorRuntime:
                 self._utility_value = None
                 self._utility_requested = False
                 if isinstance(waiting, Random):
+                    # analysis: allow(DET002) — seeded from the
+                    # voter-agreed utility value, so every correct
+                    # replica constructs an identical stream
                     return _random.Random(value)
                 return value
             if not self._utility_requested:

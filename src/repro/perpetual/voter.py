@@ -116,10 +116,12 @@ def request_match_key(req: OutRequest) -> str:
     Keys are digests of the fused wire encoding; every voter derives them
     with this same function, so only internal consistency matters.
     """
+    # Key over a *subset* of the message (attempt/responder excluded),
+    # so no wire blob matches; memoized per message object above.
     return _REQUEST_KEYS.get(
         req,
         lambda r: digest_hex(
-            encode_message(
+            encode_message(  # analysis: allow(WIRE001, WIRE002) — see note
                 ("out-request", r.request_id, r.caller, r.target, r.payload)
             )
         ),
@@ -127,6 +129,10 @@ def request_match_key(req: OutRequest) -> str:
 
 
 def result_match_key(request_id: RequestId, result: Any, aborted: bool) -> str:
+    # Key over the agreed (id, result, aborted) triple, which never
+    # crosses the wire in this exact shape; callers memoize
+    # (submission_match_key, reply-store dedup).
+    # analysis: allow(WIRE001, WIRE002)
     return digest_hex(encode_message(("result", request_id, result, aborted)))
 
 
@@ -431,6 +437,9 @@ class VoterNode(ProtocolNode):
         for envelope in proof:
             if not verifier.verify(envelope.payload, envelope.auth):
                 return False
+            # analysis: allow(WIRE001) — embedded-proof verification:
+            # these envelopes arrive *inside* an agreement payload, not
+            # through a channel, so there is no accept() memo to share
             copy = decode_message(envelope.payload)
             if not isinstance(copy, OutRequest):
                 return False

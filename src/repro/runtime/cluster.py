@@ -24,17 +24,23 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.runtime.sanitizer import guarded_dict, guarded_list, guarded_set
 from repro.sim.kernel import ProtocolNode
 
 
 class _TimerWheel:
     """One thread servicing all nodes' timers."""
 
-    def __init__(self) -> None:
+    def __init__(self, debug_locks: bool = False) -> None:
         self._heap: list[tuple[float, int, object]] = []
         self._entries: dict[tuple[str, Any], object] = {}
         self._seq = itertools.count()
         self._cv = threading.Condition()
+        if debug_locks:
+            # Assert-owner proxy: every mutation of the timer table must
+            # hold the wheel's condition, exactly what the static
+            # LOCK001 pass concluded lexically.
+            self._entries = guarded_dict("_TimerWheel._entries", self._cv)
         self._stopped = False
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
@@ -134,11 +140,17 @@ class _ThreadedEnv:
 class _NodeWorker:
     """One consumer thread per node: mailbox in, handler calls out."""
 
-    def __init__(self, key: str, node: ProtocolNode) -> None:
+    def __init__(self, key: str, node: ProtocolNode,
+                 debug_locks: bool = False) -> None:
         self.key = key
         self.node = node
         self.mailbox: queue.Queue = queue.Queue()
         self.errors: list[BaseException] = []
+        if debug_locks:
+            # Only this worker's own thread appends; readers (the
+            # cluster's errors() sweep) go through list reads, which the
+            # proxy passes through unchecked.
+            self.errors = guarded_list(f"_NodeWorker[{key}].errors")
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._started = False
 
@@ -176,16 +188,23 @@ class ThreadedCluster:
     :meth:`start`; :meth:`await_quiescent` parks until mailboxes drain.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, debug_locks: bool = False) -> None:
         self.epoch = time.monotonic()
-        self.timers = _TimerWheel()
+        self.debug_locks = debug_locks
+        self.timers = _TimerWheel(debug_locks=debug_locks)
         self._workers: dict[str, _NodeWorker] = {}
         self._started = False
         self.dropped: set[str] = set()
+        if debug_locks:
+            # The deploying thread owns topology: node registration and
+            # crash faults are main-thread operations; handler threads
+            # only ever *read* these structures.
+            self._workers = guarded_dict("ThreadedCluster._workers")
+            self.dropped = guarded_set("ThreadedCluster.dropped")
 
     def add_node(self, node_id: Any, node: ProtocolNode, host: str | None = None):
         key = str(node_id)
-        worker = _NodeWorker(key, node)
+        worker = _NodeWorker(key, node, debug_locks=self.debug_locks)
         self._workers[key] = worker
         if self._started:
             worker.start()

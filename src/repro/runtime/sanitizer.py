@@ -1,0 +1,139 @@
+"""Runtime lock sanitizer: dynamic evidence for the static lock rules.
+
+The static checker (:mod:`repro.analysis.locks`) proves what it can see
+lexically and accepts ``# analysis: guarded-by(...)`` annotations for
+the rest. This module is the other half of that bargain: with
+``ThreadedRuntime(debug_locks=True)``, the shared structures of the
+threaded substrate are wrapped in assert-owner proxies, so every
+annotated claim ("only the main thread mutates this", "mutations hold
+the wheel's condition") is *checked on every mutation* while the chaos
+presets drive racy interleavings over them.
+
+Two guard policies:
+
+- :class:`LockHeldGuard` — mutation must hold the given lock
+  (``Condition``/``RLock``; a plain ``Lock`` degrades to a held-by-
+  someone check, the strongest assertion it supports);
+- :class:`SingleWriterGuard` — the first mutating thread claims
+  ownership and every later mutation must come from it.
+
+Violations raise :class:`LockDisciplineError` (an ``AssertionError``
+subclass: under the threaded substrate it lands in the node worker's
+error list and fails the run). The proxies subclass the built-in
+containers, so reads, iteration, and ``in`` behave identically —
+only mutators assert first.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class LockDisciplineError(AssertionError):
+    """A shared structure was mutated against its declared discipline."""
+
+
+class LockHeldGuard:
+    """Mutations must hold ``lock``."""
+
+    __slots__ = ("name", "lock")
+
+    def __init__(self, name: str, lock: Any) -> None:
+        self.name = name
+        self.lock = lock
+
+    def check(self, op: str) -> None:
+        is_owned = getattr(self.lock, "_is_owned", None)
+        if is_owned is not None:
+            held = is_owned()
+        else:  # plain Lock: no owner notion, assert held at all
+            held = self.lock.locked()
+        if not held:
+            raise LockDisciplineError(
+                f"{self.name}.{op}() without holding its lock "
+                f"(thread {threading.current_thread().name!r})"
+            )
+
+
+class SingleWriterGuard:
+    """All mutations must come from one thread (first mutator claims)."""
+
+    __slots__ = ("name", "owner")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.owner: threading.Thread | None = None
+
+    def check(self, op: str) -> None:
+        me = threading.current_thread()
+        if self.owner is None:
+            self.owner = me
+        elif self.owner is not me:
+            raise LockDisciplineError(
+                f"{self.name}.{op}() from thread {me.name!r}; "
+                f"owned by {self.owner.name!r}"
+            )
+
+
+def _asserting(cls: type, mutators: tuple[str, ...]) -> type:
+    """Build a container subclass whose mutators assert the guard."""
+
+    def make(op: str):
+        base = getattr(cls, op)
+
+        def checked(self, *args, **kwargs):
+            self._guard.check(op)
+            return base(self, *args, **kwargs)
+
+        checked.__name__ = op
+        return checked
+
+    namespace = {op: make(op) for op in mutators}
+    namespace["__slots__"] = ("_guard",)
+
+    def __init__(self, guard, *args, **kwargs):  # noqa: N807
+        cls.__init__(self, *args, **kwargs)
+        self._guard = guard
+
+    namespace["__init__"] = __init__
+    return type(f"Guarded{cls.__name__.capitalize()}", (cls,), namespace)
+
+
+GuardedDict = _asserting(
+    dict,
+    ("__setitem__", "__delitem__", "pop", "popitem", "clear", "update",
+     "setdefault"),
+)
+
+GuardedSet = _asserting(
+    set,
+    ("add", "remove", "discard", "pop", "clear", "update",
+     "difference_update", "intersection_update", "symmetric_difference_update",
+     "__ior__", "__iand__", "__isub__", "__ixor__"),
+)
+
+GuardedList = _asserting(
+    list,
+    ("append", "extend", "insert", "pop", "remove", "clear", "sort",
+     "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__"),
+)
+
+
+def guarded_dict(name: str, lock: Any = None) -> dict:
+    """A dict asserting lock-held (or single-writer) discipline."""
+    guard = LockHeldGuard(name, lock) if lock is not None \
+        else SingleWriterGuard(name)
+    return GuardedDict(guard)
+
+
+def guarded_set(name: str, lock: Any = None) -> set:
+    guard = LockHeldGuard(name, lock) if lock is not None \
+        else SingleWriterGuard(name)
+    return GuardedSet(guard)
+
+
+def guarded_list(name: str, lock: Any = None) -> list:
+    guard = LockHeldGuard(name, lock) if lock is not None \
+        else SingleWriterGuard(name)
+    return GuardedList(guard)

@@ -405,9 +405,14 @@ class ProcessRuntime(Runtime):
                 )
                 proc.start()
                 child_conn.close()
-                self._procs[key] = proc
-                self._conns[key] = parent_conn
-                self._alive[parent_conn] = key
+                # The router/egress threads read these maps under
+                # self._lock; writing under the same lock keeps the
+                # discipline local instead of relying on the threads
+                # starting only after the loop.
+                with self._lock:
+                    self._procs[key] = proc
+                    self._conns[key] = parent_conn
+                    self._alive[parent_conn] = key
         self._router_thread = threading.Thread(target=self._route, daemon=True)
         self._egress_thread = threading.Thread(target=self._drain_egress, daemon=True)
         self._router_thread.start()

@@ -48,7 +48,11 @@ class ThreadedRuntime(Runtime):
 
     name = "threaded"
 
-    def __init__(self) -> None:
+    def __init__(self, debug_locks: bool = False) -> None:
+        #: Lock sanitizer (repro.runtime.sanitizer): wrap the cluster's
+        #: shared structures in assert-owner proxies so the static
+        #: guarded-by annotations are checked on every mutation.
+        self.debug_locks = debug_locks
         self.cluster: ThreadedCluster | None = None
         self._spec: ScenarioSpec | None = None
         self._groups: dict[str, ServiceGroup] = {}
@@ -68,7 +72,7 @@ class ThreadedRuntime(Runtime):
         fault_plan = FaultPlan.from_spec(spec)
         # Cold wire caches per deployment, as on every substrate.
         clear_wire_caches()
-        cluster = ThreadedCluster()
+        cluster = ThreadedCluster(debug_locks=self.debug_locks)
         topology = Topology()
         for decl in spec.services:
             topology.add(decl.name, decl.n)

@@ -65,6 +65,9 @@ WsAppFactory = Callable[[], Generator[Any, Any, None]]
 MARSHAL_CPU_US = 120
 DEMARSHAL_CPU_US = 120
 
+#: Fixed reference for agreed-timestamp construction (see Timestamp below).
+_UTC_EPOCH = datetime.datetime(1970, 1, 1, tzinfo=datetime.timezone.utc)
+
 
 class WsAdapter:
     """Builds the executor app for one replica of a WS application."""
@@ -156,9 +159,11 @@ class WsAdapter:
             return value
         if isinstance(op, Timestamp):
             millis = yield op
-            return datetime.datetime.fromtimestamp(
-                millis / 1000.0, tz=datetime.timezone.utc
-            )
+            # Integer timedelta arithmetic from the fixed epoch: the
+            # float-seconds fromtimestamp path rounds, and without tz=
+            # would read the host's local timezone — either way replicas
+            # could disagree on the same agreed millis.
+            return _UTC_EPOCH + datetime.timedelta(milliseconds=millis)
         raise ExecutorViolation(f"application yielded unknown operation: {op!r}")
 
     def _do_send(self, context: MessageContext):

@@ -1,0 +1,28 @@
+"""Fixture: LOCK001 positives — a class whose thread races its callers.
+
+The ``.../locks_bad/repro/runtime/cluster.py`` shape maps this file onto
+the ``runtime/cluster.py`` module key, which is in the lock checker's
+scope. ``submit`` runs on caller threads while ``_run`` is a spawned
+thread target; ``pending`` and ``total`` are written from both contexts.
+"""
+
+import threading
+
+
+class RacyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = {}
+        self.total = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while True:
+            if self.pending:
+                key, value = self.pending.popitem()  # expect: LOCK001
+                self.total += value  # expect: LOCK001
+
+    def submit(self, key, value):
+        self.pending[key] = value  # expect: LOCK001
+        with self._lock:
+            self.total += value  # guarded: the lock dominates this write

@@ -1,0 +1,47 @@
+"""Fixture: LOCK001 negatives — every discipline the checker accepts.
+
+Same ``runtime/cluster.py`` module key as the bad twin, zero findings:
+writes under ``with self._lock:``, thread-safe containers (queue.Queue,
+detected through AnnAssign ctor typing), a lambda-wrapped thread target,
+a ``guarded-by`` annotation, and a class with no thread entries at all.
+"""
+
+import queue
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = {}
+        self.total = 0
+        self.inbox: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=lambda: self._run(), daemon=True
+        )
+
+    def _run(self):
+        while True:
+            item = self.inbox.get()
+            with self._lock:
+                self.pending[item] = True
+                self.total += 1
+
+    def submit(self, key):
+        self.inbox.put(key)  # queue.Queue serialises internally
+        with self._lock:
+            self.pending[key] = False
+
+    def bootstrap_reset(self):
+        # analysis: guarded-by(single-threaded setup phase)
+        self.total = 0
+
+
+class MainOnly:
+    """No Thread(target=...) anywhere: single context, never flagged."""
+
+    def __init__(self):
+        self.items = []
+
+    def push(self, x):
+        self.items.append(x)

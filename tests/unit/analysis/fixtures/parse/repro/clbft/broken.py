@@ -1,0 +1,3 @@
+"""Fixture: unparseable file — the engine must report PARSE000, not crash."""
+
+def half_open(:

@@ -1,0 +1,56 @@
+"""Fixture: every determinism rule should fire in this file.
+
+Parsed (never imported) by the rule-engine tests; the ``repro/clbft``
+directory shape puts it in the determinism family's scope. Trailing
+``# expect: RULE[, RULE]`` markers name the violations the engine must
+report on that line — the tests read them back.
+"""
+
+import datetime
+import random
+import time as clock
+from random import randint
+
+
+def wall_clock_now():
+    return clock.time()  # expect: DET001
+
+
+def wall_clock_datetime():
+    return datetime.datetime.now()  # expect: DET001
+
+
+def ambient_random():
+    return random.random()  # expect: DET002
+
+
+def ambient_from_import():
+    return randint(0, 10)  # expect: DET002
+
+
+def iterate_set_call(xs):
+    for x in set(xs):  # expect: DET003
+        yield x
+
+
+def iterate_set_literal():
+    return [x for x in {1, 2, 3}]  # expect: DET003
+
+
+def materialise_set(xs):
+    return list(set(xs))  # expect: DET003
+
+
+CACHE = {}
+
+
+def remember(msg):
+    CACHE[id(msg)] = msg  # expect: DET004
+
+
+def recall(msg):
+    return CACHE.get(id(msg))  # expect: DET004
+
+
+def agreed_datetime(millis):
+    return datetime.datetime.fromtimestamp(millis / 1000.0)  # expect: DET005

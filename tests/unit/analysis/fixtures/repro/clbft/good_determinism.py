@@ -1,0 +1,31 @@
+"""Fixture: determinism-clean protocol code plus sanctioned suppressions."""
+
+import datetime
+import time
+
+_UTC_EPOCH = datetime.datetime(1970, 1, 1, tzinfo=datetime.timezone.utc)
+
+
+def virtual_now(env):
+    return env.now_us()  # the sanctioned clock
+
+
+def agreed_datetime(millis):
+    return _UTC_EPOCH + datetime.timedelta(milliseconds=millis)
+
+
+def stable_order(xs):
+    return sorted(set(xs))  # sorted() launders set order
+
+
+def membership(xs, x):
+    return x in set(xs)  # membership tests are order-free
+
+
+def diagnostics_stamp():
+    # analysis: allow(DET001) — log decoration only, never on the wire
+    return time.time()
+
+
+def trailing_suppression():
+    return time.time()  # analysis: allow(DET001) — test fixture

@@ -1,0 +1,7 @@
+"""Fixture: the RNG wrapper module is exempt from DET002 by name."""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)

@@ -1,0 +1,14 @@
+"""Fixture: the wire layer itself may use every flagged construct.
+
+``transport/channel.py`` is on all three wire allowlists, so the same
+calls that light up ``perpetual/bad_wire.py`` produce zero findings here.
+"""
+
+from repro.common.encoding import encode_message
+from repro.crypto.digest import digest
+from repro.transport.wire import WireEnvelope
+
+
+def sign_and_frame(sender, msg):
+    payload = encode_message(msg)
+    return WireEnvelope(sender, payload, digest(payload))

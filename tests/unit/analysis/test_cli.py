@@ -1,0 +1,56 @@
+"""CLI contract: exit codes, text format, JSON schema, rule catalog."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import RULES
+from repro.analysis.engine import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_tree_exits_zero(capsys):
+    good = FIXTURES / "repro" / "transport"
+    assert main([str(good)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "0 violation(s) in 1 file(s)" in captured.err
+
+
+def test_dirty_tree_exits_nonzero_with_file_line_rule(capsys):
+    bad = FIXTURES / "repro" / "clbft" / "bad_determinism.py"
+    assert main([str(bad)]) == 1
+    captured = capsys.readouterr()
+    lines = captured.out.splitlines()
+    assert lines, "expected findings on stdout"
+    # `path:line:col: RULE message` per line, sorted by location.
+    for line in lines:
+        path, lineno, col, rest = line.split(":", 3)
+        assert path.endswith("bad_determinism.py")
+        assert int(lineno) > 0 and int(col) >= 0
+        assert rest.strip().split()[0].startswith(("DET", "WIRE", "LOCK", "PARSE"))
+
+
+def test_json_format_schema(capsys):
+    bad = FIXTURES / "repro" / "perpetual" / "bad_wire.py"
+    assert main(["--format", "json", str(bad)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["files_checked"] == 1
+    assert {r["id"] for r in doc["rules"]} == {rule.id for rule in RULES}
+    for entry in doc["rules"]:
+        assert set(entry) == {"id", "title", "rationale"}
+    assert doc["violations"], "expected violations in the document"
+    for violation in doc["violations"]:
+        assert set(violation) == {"path", "line", "col", "rule", "message"}
+    assert doc["violations"] == sorted(
+        doc["violations"], key=lambda v: (v["path"], v["line"], v["col"])
+    )
+
+
+def test_rules_catalog_lists_every_rule(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.id in out
+        assert rule.title in out

@@ -1,0 +1,99 @@
+"""Guard-proxy semantics: the dynamic half of the lock-discipline story."""
+
+import threading
+
+import pytest
+
+from repro.runtime.sanitizer import (
+    LockDisciplineError,
+    guarded_dict,
+    guarded_list,
+    guarded_set,
+)
+
+
+def test_lock_held_guard_rejects_unheld_mutation():
+    cv = threading.Condition()
+    entries = guarded_dict("entries", cv)
+    with pytest.raises(LockDisciplineError, match="entries.__setitem__"):
+        entries["k"] = 1
+    assert entries == {}
+
+
+def test_lock_held_guard_accepts_held_mutation():
+    cv = threading.Condition()
+    entries = guarded_dict("entries", cv)
+    with cv:
+        entries["k"] = 1
+        entries.setdefault("j", 2)
+        del entries["j"]
+        assert entries.pop("k") == 1
+
+
+def test_plain_lock_degrades_to_held_by_someone():
+    lock = threading.Lock()
+    items = guarded_set("items", lock)
+    with pytest.raises(LockDisciplineError):
+        items.add(1)
+    with lock:
+        items.add(1)
+    assert items == {1}
+
+
+def test_reads_and_iteration_never_assert():
+    cv = threading.Condition()
+    entries = guarded_dict("entries", cv)
+    with cv:
+        entries.update({"a": 1, "b": 2})
+    # All of these run without holding the lock: reads pass through.
+    assert entries["a"] == 1
+    assert "b" in entries
+    assert sorted(entries) == ["a", "b"]
+    assert entries.get("c") is None
+    assert len(entries) == 2
+
+
+def test_single_writer_guard_claims_first_mutator():
+    log = guarded_list("log")
+    log.append("mine")  # this thread claims ownership
+    raised = []
+
+    def intruder():
+        try:
+            log.append("theirs")
+        except LockDisciplineError as exc:
+            raised.append(exc)
+
+    thread = threading.Thread(target=intruder)
+    thread.start()
+    thread.join()
+    assert len(raised) == 1
+    assert "log.append" in str(raised[0])
+    assert log == ["mine"]
+
+
+def test_single_writer_guard_allows_repeated_owner_mutation():
+    dropped = guarded_set("dropped")
+    dropped.add("a")
+    dropped.add("b")
+    dropped.discard("a")
+    assert dropped == {"b"}
+
+
+def test_violation_is_an_assertion_error():
+    # Under the threaded substrate a violation lands in the node worker's
+    # error list and fails the run, like any handler assertion.
+    assert issubclass(LockDisciplineError, AssertionError)
+
+
+def test_guarded_containers_behave_like_builtins():
+    cv = threading.Condition()
+    entries = guarded_dict("entries", cv)
+    with cv:
+        entries["k"] = [1]
+    assert isinstance(entries, dict)
+    assert dict(entries) == {"k": [1]}
+    items = guarded_list("items")
+    items.extend([3, 1, 2])
+    items.sort()
+    assert items == [1, 2, 3]

@@ -1,0 +1,21 @@
+"""Tier-1 gate: the merged tree carries zero analysis violations.
+
+This is the linter's third delivery surface (alongside the CLI and the
+rule-engine unit tests): any commit that reintroduces a wall-clock read,
+a stray codec/digest call, or an unguarded shared-state write fails the
+ordinary test run, not just the pre-merge script.
+"""
+
+from pathlib import Path
+
+from repro.analysis import check_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_has_no_analysis_violations():
+    findings, files_checked = check_paths([str(SRC)])
+    formatted = "\n".join(v.format() for v in findings)
+    assert not findings, f"analysis violations in src:\n{formatted}"
+    # Sanity: the walk actually covered the package.
+    assert files_checked > 50

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Pre-merge gate: static analysis must be clean, then tier-1 must pass.
+# Run from the repo root:  sh tools/check.sh
+set -e
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== repro.analysis (invariant linter) =="
+python -m repro.analysis src
+
+echo "== tier-1 tests (soak excluded) =="
+python -m pytest -x -q
+
+echo "== all gates passed =="
