@@ -82,7 +82,7 @@ def test_fig7_benchmark_representative_cell(benchmark, fault_activity):
     # Steady-state measurement (one warmup round, median of five):
     # benchmarks/compare.py gates this cell's median at 10%.
     result = benchmark.pedantic(
-        lambda: run_two_tier(4, 4, total_calls=30),
+        lambda: run_two_tier(4, 4, total_calls=30, batching="tick"),
         rounds=5,
         warmup_rounds=1,
         iterations=1,

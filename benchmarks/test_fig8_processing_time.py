@@ -96,7 +96,7 @@ def test_fig8_benchmark_representative_cell(benchmark, fault_activity):
     # digest caches and import-time state, then the median of five rounds
     # is the trajectory point benchmarks/compare.py gates on.
     result = benchmark.pedantic(
-        lambda: run_two_tier(4, 4, total_calls=20, cpu_ms=6),
+        lambda: run_two_tier(4, 4, total_calls=20, cpu_ms=6, batching="tick"),
         rounds=5,
         warmup_rounds=1,
         iterations=1,

@@ -89,7 +89,7 @@ def test_fig9_benchmark_representative_cell(benchmark, fault_activity):
     # Steady-state measurement (one warmup round, median of five):
     # benchmarks/compare.py gates this cell's median at 10%.
     result = benchmark.pedantic(
-        lambda: run_async_window(4, 4, window=10, total_calls=40),
+        lambda: run_async_window(4, 4, window=10, total_calls=40, batching="tick"),
         rounds=5,
         warmup_rounds=1,
         iterations=1,

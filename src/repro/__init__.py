@@ -15,6 +15,11 @@ Architectures" (Pallemulle & Goldman, WUCSE-2007-53 / ICDCS 2008):
 
 The top-level package re-exports the public API a downstream user needs to
 deploy a replicated web service.
+
+Start with ``docs/architecture.md`` for the layer map (sim kernel ->
+transport -> ws/channel -> clbft/perpetual -> scenario runtimes) and
+the cross-layer contracts every package below states and the analysis
+rules enforce.
 """
 
 from repro.common.config import ReplicationConfig, ServiceSpec

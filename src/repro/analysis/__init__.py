@@ -15,6 +15,10 @@ Three rule families over the source tree, one suppression convention:
 Run ``python -m repro.analysis [--format text|json] [paths]``; the
 tier-1 suite keeps ``src/`` violation-free via
 ``tests/unit/test_analysis_clean.py``.
+
+The rule catalog, scopes, and suppression syntax are documented in
+``docs/analysis.md`` — ``tools/check.sh`` keeps that page's tables in
+lockstep with the live ``--rules`` output.
 """
 
 from repro.analysis.core import RULES, Rule, SourceFile, Violation, rules_for

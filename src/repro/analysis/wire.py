@@ -152,13 +152,16 @@ class DirectDigestRule(Rule):
 @register
 class EnvelopeConstructionRule(Rule):
     id = "WIRE003"
-    title = "no WireEnvelope construction outside the signing path"
+    title = "no envelope construction outside the signing path"
     rationale = (
         "An envelope built by hand bypasses ChannelAdapter.multicast_to "
         "— the only place the authenticator, the blob cache, and the "
         "cost model meet. Envelopes come from the channel (sending) or "
         "envelope_from_wire (decoding); anything else forges the fused "
-        "codec's invariants."
+        "codec's invariants. BatchEnvelope is held to the same rule: "
+        "batches exist only on the sanctioned ChannelAdapter.flush / "
+        "open_batch path, where the single batch MAC is computed and "
+        "verified."
     )
 
     def applies_to(self, module: str) -> bool:
@@ -169,12 +172,12 @@ class EnvelopeConstructionRule(Rule):
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
-                and node.func.id == "WireEnvelope"
+                and node.func.id in ("WireEnvelope", "BatchEnvelope")
             ):
                 yield src.violation(
                     self,
                     node,
-                    "WireEnvelope constructed outside the signing path — "
-                    "send through ChannelAdapter or decode via "
+                    f"{node.func.id} constructed outside the signing path "
+                    "— send through ChannelAdapter or decode via "
                     "envelope_from_wire",
                 )

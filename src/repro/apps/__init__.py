@@ -16,6 +16,10 @@ paper section 4 requires:
 - :mod:`repro.apps.orchestrator` -- an SOA-style orchestrator with a
   long-running active thread of computation, demonstrating the application
   model Thema/BFT-WS/SWS cannot express.
+
+Contract: applications are deterministic coroutines over the Figure-3
+handler API — no ambient clocks or randomness (rules DET001/DET002,
+``docs/analysis.md``); all I/O flows through the yielded operations.
 """
 
 from repro.apps.counter import counter_app

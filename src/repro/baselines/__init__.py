@@ -8,6 +8,9 @@ the properties our implementation can demonstrate, plus restricted-mode
 deployment wrappers (:mod:`repro.baselines.restricted`) that emulate the
 other systems' limitations (no replicated callers, synchronous-only,
 signature authentication) for the ablation benchmarks.
+
+See ``docs/benchmarks.md`` for how baseline comparisons feed the
+regression gate's trajectory points.
 """
 
 from repro.baselines.features import (

@@ -11,6 +11,13 @@ code runs on the discrete-event simulator and the threaded runtime. In
 Perpetual, each service's *voter group* embeds one CLBFT instance and uses
 it to agree both on external requests sent to the service and on replies
 to requests the service issued (Figure 1, stages 2 and 8).
+
+Contract: replicas are sans-IO deterministic state machines — identical
+inputs produce identical outputs and sends on every substrate (rules
+DET001-DET005). All messaging crosses the channel layer; the codec in
+:mod:`repro.clbft.messages` is injected into the ChannelAdapter rather
+than called directly (encode-once, rule WIRE001). Layer map:
+``docs/architecture.md``.
 """
 
 from repro.clbft.config import GroupConfig

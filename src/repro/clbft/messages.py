@@ -9,6 +9,7 @@ proofs), which the codec handles recursively.
 
 from __future__ import annotations
 
+from base64 import b64encode as _b64encode
 from dataclasses import dataclass, fields
 from json import dumps as _json_dumps, loads as _json_loads
 from json.encoder import encode_basestring_ascii as _escape_ascii
@@ -132,6 +133,32 @@ def _sorted_fields(cls: type) -> tuple[str, ...]:
     return names
 
 
+# Pre-escaped emit plans, one per message class: the canonical header
+# ('{"__msg__":"<kind>","v":{') plus a '[,]"<name>":' prefix per sorted
+# field. Field names and kinds are constants, so escaping them per
+# message on the hot path was pure waste — a plan turns each message
+# into one append per field.
+_EMIT_PLANS: dict[type, tuple[str, tuple[tuple[str, str], ...]]] = {}
+
+#: Canonical prefix of an encoded ``bytes`` leaf. The base64 alphabet
+#: never needs JSON escaping, so the digest fast path can emit the
+#: encoded text between pre-built quotes, skipping ``_escape_ascii``.
+_BYTES_OPEN = '{"__repro__":"bytes","v":"'
+
+
+def _emit_plan(cls: type, msg_kind: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    plan = _EMIT_PLANS.get(cls)
+    if plan is None:
+        header = '{"__msg__":' + _escape_ascii(msg_kind) + ',"v":{'
+        prefixes = tuple(
+            (("" if i == 0 else ",") + _escape_ascii(name) + ":", name)
+            for i, name in enumerate(_sorted_fields(cls))
+        )
+        plan = (header, prefixes)
+        _EMIT_PLANS[cls] = plan
+    return plan
+
+
 def _plain_json(value: Any, out: list[str]) -> None:
     """Emit an already-canonical leaf-tag value (scalar or scalar list)."""
     kind = type(value)
@@ -153,31 +180,44 @@ def _plain_json(value: Any, out: list[str]) -> None:
 
 
 def _fuse_encode(value: Any, out: list[str]) -> None:
-    """Recursive single-pass emitter of the composed wire encoding."""
+    """Recursive single-pass emitter of the composed wire encoding.
+
+    The scalar and ``bytes`` cases are additionally inlined at every
+    container recursion site below: protocol messages are shallow trees
+    whose leaves are overwhelmingly ints, strings, and digests, so
+    dispatching them without a Python call frame is the difference the
+    fig7/fig8 gate measures (see ``docs/benchmarks.md``).
+    """
     kind = type(value)
+    append = out.append
     if kind is str:
-        out.append(_escape_ascii(value))
+        append(_escape_ascii(value))
         return
     if kind is int:
-        out.append(repr(value))
+        append(repr(value))
+        return
+    if kind is bytes:
+        append(_BYTES_OPEN)
+        append(_b64encode(value).decode("ascii"))
+        append('"}')
         return
     if kind is bool:
-        out.append("true" if value else "false")
+        append("true" if value else "false")
         return
     if value is None:
-        out.append("null")
+        append("null")
         return
     leaf = _LEAF_ENCODERS.get(kind)
     if leaf is not None:
         tagged = leaf(value)
-        out.append('{"__repro__":')
-        out.append(_escape_ascii(tagged[_TAG]))
-        out.append(',"v":')
+        append('{"__repro__":')
+        append(_escape_ascii(tagged[_TAG]))
+        append(',"v":')
         _plain_json(tagged["v"], out)
-        out.append("}")
+        append("}")
         return
     if kind is dict:
-        out.append('{"__seq__":"dict","v":{')
+        append('{"__seq__":"dict","v":{')
         first = True
         for k in sorted(value):
             if type(k) is not str and not isinstance(k, str):
@@ -185,14 +225,14 @@ def _fuse_encode(value: Any, out: list[str]) -> None:
             if first:
                 first = False
             else:
-                out.append(",")
-            out.append(_escape_ascii(k))
-            out.append(":")
+                append(",")
+            append(_escape_ascii(k))
+            append(":")
             _fuse_encode(value[k], out)
-        out.append("}}")
+        append("}}")
         return
     if kind is list or kind is tuple:
-        out.append(
+        append(
             '{"__seq__":"list","v":[' if kind is list
             else '{"__seq__":"tuple","v":['
         )
@@ -201,27 +241,41 @@ def _fuse_encode(value: Any, out: list[str]) -> None:
             if first:
                 first = False
             else:
-                out.append(",")
-            _fuse_encode(item, out)
-        out.append("]}")
+                append(",")
+            item_kind = type(item)
+            if item_kind is str:
+                append(_escape_ascii(item))
+            elif item_kind is int:
+                append(repr(item))
+            elif item_kind is bytes:
+                append(_BYTES_OPEN)
+                append(_b64encode(item).decode("ascii"))
+                append('"}')
+            else:
+                _fuse_encode(item, out)
+        append("]}")
         return
     if kind is float:
         raise ProtocolError(f"floats are not canonically encodable: {value!r}")
     msg_kind = getattr(value, "KIND", None)
     if msg_kind is not None:
-        out.append('{"__msg__":')
-        out.append(_escape_ascii(msg_kind))
-        out.append(',"v":{')
-        first = True
-        for name in _sorted_fields(kind):
-            if first:
-                first = False
+        header, field_plan = _emit_plan(kind, msg_kind)
+        append(header)
+        for prefix, name in field_plan:
+            append(prefix)
+            field = getattr(value, name)
+            field_kind = type(field)
+            if field_kind is int:
+                append(repr(field))
+            elif field_kind is str:
+                append(_escape_ascii(field))
+            elif field_kind is bytes:
+                append(_BYTES_OPEN)
+                append(_b64encode(field).decode("ascii"))
+                append('"}')
             else:
-                out.append(",")
-            out.append(_escape_ascii(name))
-            out.append(":")
-            _fuse_encode(getattr(value, name), out)
-        out.append("}}")
+                _fuse_encode(field, out)
+        append("}}")
         return
     # Subclasses of supported types (IntEnum, NamedTuple, dict/list
     # subclasses, id subclasses) keep the seed's isinstance semantics:

@@ -3,6 +3,10 @@
 Everything in this package is dependency-free and usable by every other
 subsystem (crypto, transport, CLBFT, Perpetual, the SOAP engine, and the
 simulation substrate).
+
+Contract: :mod:`repro.common.encoding` owns the canonical codec and the
+encode-once blob cache (``docs/architecture.md``); everything else here
+is pure, deterministic, and substrate-free.
 """
 
 from repro.common.config import ReplicationConfig, ServiceSpec

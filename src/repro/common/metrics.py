@@ -50,6 +50,10 @@ class Metrics:
     faults_injected: int = 0
     #: Cache entries evicted by checkpoint-driven garbage collection.
     cache_evictions: int = 0
+    #: Batch envelopes flushed onto the wire (one MAC vector each).
+    batches_sent: int = 0
+    #: Protocol messages carried inside those batch envelopes.
+    batch_messages: int = 0
 
     def reset(self) -> None:
         """Zero every counter (tests call this before a measured region)."""

@@ -12,6 +12,12 @@ scale to larger replica groups. This package reproduces that design:
 - :mod:`repro.crypto.digest`  -- canonical message digests;
 - :mod:`repro.crypto.cost`    -- the cost model (MAC vs signature) used by
   the simulator's crypto-time accounting and the ablation benchmark.
+
+Contract: digest once — one payload digest per message, memoized on the
+blob/envelope; every receiver's MAC tag derives from that single
+prehash (rule WIRE002, ``docs/analysis.md``). The batching stage
+(``docs/architecture.md``) extends the same economy to one MAC vector
+per batch.
 """
 
 from repro.crypto.auth import Authenticator, AuthenticatorFactory

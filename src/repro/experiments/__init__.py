@@ -10,6 +10,10 @@ shape. See DESIGN.md section 4 for the experiment index.
   (Figure 6 and the async-vs-sync PGE comparison);
 - :mod:`repro.experiments.ablations`  -- design-choice ablations
   (MAC vs signatures, responder bundling vs all-to-all).
+
+The representative cells double as the performance regression gate —
+measurement protocol and baseline-refresh procedure in
+``docs/benchmarks.md``; scenario presets in ``docs/scenarios.md``.
 """
 
 from repro.experiments.microbench import (

@@ -68,6 +68,7 @@ def _run(
     cost_model: CryptoCostModel,
     runtime: str = "sim",
     asynchronous: bool = False,
+    batching: str | int = "off",
 ) -> MicrobenchResult:
     spec = two_tier_scenario(
         n_calling=n_calling,
@@ -85,6 +86,7 @@ def _run(
         },
         duration_s=MAX_SIM_SECONDS,
         asynchronous=asynchronous,
+        batching=batching,
     )
     metrics = run_scenario(spec, runtime=runtime)
 
@@ -114,6 +116,7 @@ def run_two_tier(
     cpu_ms: int = 0,
     cost_model: CryptoCostModel = MAC_COST_MODEL,
     runtime: str = "sim",
+    batching: str | int = "off",
 ) -> MicrobenchResult:
     """Closed-loop synchronous two-tier benchmark (Figures 7 and 8).
 
@@ -128,6 +131,7 @@ def run_two_tier(
         cpu_ms=cpu_ms,
         cost_model=cost_model,
         runtime=runtime,
+        batching=batching,
     )
 
 
@@ -139,6 +143,7 @@ def run_async_window(
     cpu_ms: int = 0,
     cost_model: CryptoCostModel = MAC_COST_MODEL,
     runtime: str = "sim",
+    batching: str | int = "off",
 ) -> MicrobenchResult:
     """Windowed asynchronous two-tier benchmark (Figure 9)."""
     return _run(
@@ -150,6 +155,7 @@ def run_async_window(
         cost_model=cost_model,
         runtime=runtime,
         asynchronous=True,
+        batching=batching,
     )
 
 

@@ -6,6 +6,12 @@ turns the fault declarations carried by a :class:`ScenarioSpec` into
 per-replica scripts and per-node injectors that wrap a node's send/
 receive/timer hooks identically on every substrate (simulator, threaded
 cluster, process cluster).
+
+Contract: faults are per-message and deterministic — interception draws
+from seeded rng streams, and channel-layer batching preserves message
+granularity (a batched send defers/drops every inner message exactly as
+unbatched sends on the same edge would; Byzantine rewrites act above
+the channel). Fault kinds and builder syntax: ``docs/scenarios.md``.
 """
 
 from repro.faults.controller import (

@@ -22,6 +22,12 @@ Package layout:
 - :mod:`repro.perpetual.scheduler` -- deterministic round-robin scheduling
   of multiple executor coroutines (the paper's section 7 future-work
   direction, provided as an extension).
+
+Contract: voters and drivers are deterministic protocol nodes speaking
+only through their ChannelAdapter (encode-once / digest-once, see
+``docs/architecture.md``); with batching enabled they expose the
+``wants_flush``/``on_flush`` hooks the substrates call at tick/handler
+boundaries.
 """
 
 from repro.perpetual.executor import (

@@ -47,9 +47,9 @@ from repro.common.metrics import METRICS
 from repro.perpetual.voter import driver_name, principal_index, voter_name
 from repro.sim.kernel import ProtocolNode, SimNodeEnv, US_PER_MS
 from repro.sim.rng import DeterministicRng
-from repro.transport.channel import ChannelAdapter
+from repro.transport.channel import CHANNEL_FLUSH_TAG, ChannelAdapter
 from repro.transport.connection import SimConnection
-from repro.transport.wire import WireEnvelope, auth_from_wire
+from repro.transport.wire import BatchEnvelope, WireEnvelope, auth_from_wire
 
 RETRANSMIT_TIMEOUT_US = 250_000
 #: Truncated binary exponential backoff: ceiling on the rearm delay.
@@ -78,6 +78,7 @@ class DriverNode(ProtocolNode):
         retransmit_timeout_us: int = RETRANSMIT_TIMEOUT_US,
         retry_budget: int = RETRY_BUDGET,
         fault: Any | None = None,
+        batching: str | int = "off",
     ) -> None:
         self.topology = topology
         self.service = service
@@ -89,6 +90,8 @@ class DriverNode(ProtocolNode):
         self._retry_budget = retry_budget
         self._rtx_rng = DeterministicRng(0, f"rtx/{self.name}")
         self._fault = fault
+        self._batching = batching
+        self.wants_flush = batching == "tick"
         self._env: SimNodeEnv | None = None
         self._channel: ChannelAdapter | None = None
         self._allocator = RequestIdAllocator(ServiceId(service), start=1)
@@ -116,6 +119,7 @@ class DriverNode(ProtocolNode):
         if self._fault is not None:
             env = self._fault.wrap_env(env)
         self._env = env
+        window = self._batching if isinstance(self._batching, int) else None
         self._channel = ChannelAdapter(
             me=self.name,
             keys=self._keys,
@@ -124,6 +128,11 @@ class DriverNode(ProtocolNode):
             cost_model=self._cost_model,
             encode=encode_message,
             decode=decode_message,
+            batching=self._batching,
+            on_first_pending=(
+                None if window is None
+                else lambda: env.set_timer(CHANNEL_FLUSH_TAG, window)
+            ),
         )
 
     @property
@@ -157,15 +166,25 @@ class DriverNode(ProtocolNode):
         if self._fault is not None and not self._fault.deliver_ok(src):
             return
         if isinstance(msg, WireEnvelope):
-            protocol_msg = self._channel.accept(msg)
-            if protocol_msg is None:
-                return
-            sender = self._channel.sender_of(msg)
-            if isinstance(protocol_msg, ReplyBundle):
-                self._on_reply_bundle(sender, protocol_msg)
+            self._on_envelope(msg)
+            return
+        if isinstance(msg, BatchEnvelope):
+            for inner in self._channel.open_batch(msg):
+                self._on_envelope(inner)
             return
         if isinstance(msg, AgreedEvent):
             self._on_agreed_event(msg)
+
+    def _on_envelope(self, envelope: WireEnvelope) -> None:
+        protocol_msg = self._channel.accept(envelope)
+        if protocol_msg is None:
+            return
+        sender = self._channel.sender_of(envelope)
+        if isinstance(protocol_msg, ReplyBundle):
+            self._on_reply_bundle(sender, protocol_msg)
+
+    def on_flush(self) -> None:
+        self._channel.flush()
 
     def on_timer(self, tag: Any) -> None:
         if self._fault is not None and self._fault.on_timer(tag):
@@ -173,6 +192,9 @@ class DriverNode(ProtocolNode):
         if tag == "sleep":
             self.runtime.deliver_wakeup()
             self._pump()
+            return
+        if tag == CHANNEL_FLUSH_TAG:
+            self._channel.flush()
             return
         kind, request_id = tag
         if request_id not in self._outstanding:

@@ -82,6 +82,7 @@ def build_replica(
     clbft_overrides: dict | None = None,
     retransmit_timeout_us: int | None = None,
     fault_script: Any | None = None,
+    batching: str | int = "off",
 ) -> tuple[VoterNode, DriverNode]:
     """One replica's co-located voter/driver pair, unattached.
 
@@ -105,6 +106,7 @@ def build_replica(
         cost_model=cost_model,
         clbft_overrides=clbft_overrides,
         fault=voter_fault,
+        batching=batching,
     )
     driver_kwargs: dict[str, Any] = {}
     if retransmit_timeout_us is not None:
@@ -117,6 +119,7 @@ def build_replica(
         app_factory=app_factory,
         cost_model=cost_model,
         fault=driver_fault,
+        batching=batching,
         **driver_kwargs,
     )
     return voter, driver
@@ -133,6 +136,7 @@ def deploy_service(
     retransmit_timeout_us: int | None = None,
     hosts: list[str] | None = None,
     fault_plan: Any | None = None,
+    batching: str | int = "off",
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the simulator.
 
@@ -160,6 +164,7 @@ def deploy_service(
                 fault_plan.script_for(service, index)
                 if fault_plan is not None else None
             ),
+            batching=batching,
         )
         voter.attach(sim.add_node(voter_name(service, index), voter, host=host))
         voters.append(voter)

@@ -66,9 +66,10 @@ from repro.perpetual.messages import (
     utility_item,
 )
 from repro.sim.kernel import ProtocolNode, SimNodeEnv
-from repro.transport.channel import ChannelAdapter
+from repro.transport.channel import CHANNEL_FLUSH_TAG, ChannelAdapter
 from repro.transport.connection import SimConnection
 from repro.transport.wire import (
+    BatchEnvelope,
     WireEnvelope,
     auth_to_wire,
     envelope_from_wire,
@@ -167,6 +168,7 @@ class VoterNode(ProtocolNode):
         cost_model: CryptoCostModel = MAC_COST_MODEL,
         clbft_overrides: dict | None = None,
         fault: Any | None = None,
+        batching: str | int = "off",
     ) -> None:
         self.topology = topology
         self.service = service
@@ -174,6 +176,9 @@ class VoterNode(ProtocolNode):
         self.name = voter_name(service, index)
         self._keys = keys
         self._cost_model = cost_model
+        self._batching = batching
+        # Tick mode: the hosting substrate flushes after every handler.
+        self.wants_flush = batching == "tick"
         spec = topology.spec(service)
         overrides = clbft_overrides or {}
         self.config = GroupConfig(n=spec.n, **overrides)
@@ -229,6 +234,7 @@ class VoterNode(ProtocolNode):
             # the fault script.
             env = self._fault.wrap_env(env)
         self._env = env
+        window = self._batching if isinstance(self._batching, int) else None
         self._channel = ChannelAdapter(
             me=self.name,
             keys=self._keys,
@@ -237,6 +243,13 @@ class VoterNode(ProtocolNode):
             cost_model=self._cost_model,
             encode=encode_message,
             decode=decode_message,
+            batching=self._batching,
+            # Window mode: arm the flush timer when the first message
+            # buffers; tick mode flushes via on_flush instead.
+            on_first_pending=(
+                None if window is None
+                else lambda: env.set_timer(CHANNEL_FLUSH_TAG, window)
+            ),
         )
         self.replica = ClbftReplica(
             config=self.config,
@@ -292,13 +305,24 @@ class VoterNode(ProtocolNode):
             return
         if isinstance(msg, WireEnvelope):
             self._on_network(msg)
+        elif isinstance(msg, BatchEnvelope):
+            # One MAC verification for the whole batch, then the inner
+            # envelopes dispatch exactly as if they arrived unbatched.
+            for inner in self._channel.open_batch(msg):
+                self._on_network(inner)
         else:
             self._on_local(msg)
 
     def on_timer(self, tag: Any) -> None:
         if self._fault is not None and self._fault.on_timer(tag):
             return
+        if tag == CHANNEL_FLUSH_TAG:
+            self._channel.flush()
+            return
         self.replica.on_timer(tag)
+
+    def on_flush(self) -> None:
+        self._channel.flush()
 
     # -- network messages ---------------------------------------------------
 

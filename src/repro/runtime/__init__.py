@@ -14,6 +14,11 @@ is the declarative scenario API — build a
 :class:`repro.scenario.threaded.ThreadedRuntime`, which drives this
 cluster; ``runtime="process"`` selects the sibling multi-process
 substrate in :mod:`repro.scenario.process`).
+
+Contract: shared structures are written under their owning lock or
+carry a checked ``guarded-by`` annotation — the LOCK001 discipline of
+``docs/analysis.md``, enforced dynamically by
+:mod:`repro.runtime.sanitizer` under ``debug_locks=True``.
 """
 
 from repro.runtime.cluster import ThreadedCluster

@@ -160,8 +160,14 @@ class _NodeWorker:
             self._thread.start()
 
     def _run(self) -> None:
+        # Tick batching: a handler's buffered channel output is released
+        # as soon as its handler returns — the worker thread's dequeue
+        # loop is the threaded analogue of a kernel tick.
+        flush = self.node.on_flush if self.node.wants_flush else None
         try:
             self.node.on_start()
+            if flush is not None:
+                flush()
         except Exception as exc:  # pragma: no cover - diagnostics
             self.errors.append(exc)
         while True:
@@ -174,6 +180,8 @@ class _NodeWorker:
                     self.node.on_message(src, payload)
                 else:
                     self.node.on_timer(payload)
+                if flush is not None:
+                    flush()
             except Exception as exc:
                 self.errors.append(exc)
 

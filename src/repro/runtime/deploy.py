@@ -26,6 +26,7 @@ def deploy_threaded_service(
     clbft_overrides: dict | None = None,
     retransmit_timeout_us: int = 100_000,
     fault_plan=None,
+    batching: str | int = "off",
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the threaded cluster."""
     spec = topology.spec(service)
@@ -45,6 +46,7 @@ def deploy_threaded_service(
                 fault_plan.script_for(service, index)
                 if fault_plan is not None else None
             ),
+            batching=batching,
         )
         voter.attach(cluster.add_node(voter_name(service, index), voter))
         voters.append(voter)

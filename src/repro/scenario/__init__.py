@@ -27,6 +27,10 @@ Typical use::
 The figure generators, the TPC-W harness, the demos, and
 ``python -m repro.experiments run`` are all thin consumers of the presets
 in :mod:`repro.scenario.presets`.
+
+The spec schema, presets, fault kinds, and the ``batching`` knob are
+documented in ``docs/scenarios.md``; substrate placement in the layer
+map of ``docs/architecture.md``.
 """
 
 from repro.scenario.apps import (

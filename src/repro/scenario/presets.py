@@ -41,6 +41,7 @@ def two_tier_scenario(
     crypto_params: dict | None = None,
     duration_s: float = MICROBENCH_DURATION_S,
     asynchronous: bool | None = None,
+    batching: str | int = "off",
     name: str | None = None,
 ) -> ScenarioSpec:
     """The section 6.2 micro-benchmark pair (Figures 7, 8, and 9).
@@ -50,7 +51,9 @@ def two_tier_scenario(
     ``asynchronous`` selects the windowed caller of Figure 9 explicitly —
     the Figure 9 sweep uses it even at window=1, so its baseline exercises
     the same send/receive pattern as the rest of the series; the default
-    picks it whenever ``window > 1``.
+    picks it whenever ``window > 1``. ``batching`` is the channel-layer
+    batching knob (``"off"`` | ``"tick"`` | window µs) — see
+    ``docs/scenarios.md``.
     """
     if asynchronous is None:
         asynchronous = window > 1
@@ -59,6 +62,7 @@ def two_tier_scenario(
         ScenarioBuilder(name or f"micro-{n_calling}-{n_target}-{window}-{cpu_ms}")
         .crypto(crypto, **(crypto_params or {}))
         .duration(duration_s)
+        .batching(batching)
         .service("target", n=n_target, app="digest" if cpu_ms > 0 else "counter")
     )
     if asynchronous:
@@ -79,11 +83,13 @@ def echo_parity_scenario(
     total_calls: int = 6,
     name: str | None = None,
     duration_s: float = 60.0,
+    batching: str | int = "off",
 ) -> ScenarioSpec:
     """A small echo scenario used to assert substrate parity (n=4, f=1)."""
     return (
         ScenarioBuilder(name or f"echo-parity-{n}-{total_calls}")
         .duration(duration_s)
+        .batching(batching)
         .service("target", n=n, app="echo")
         .service("caller", n=n, app="sync_caller",
                  target="target", total_calls=total_calls)

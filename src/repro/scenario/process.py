@@ -58,7 +58,12 @@ from repro.scenario.runtime import (
     observer_index,
 )
 from repro.scenario.spec import ScenarioSpec
-from repro.transport.wire import WireEnvelope, envelope_from_wire, envelope_to_wire
+from repro.transport.wire import (
+    BatchEnvelope,
+    WireEnvelope,
+    envelope_from_wire,
+    envelope_to_wire,
+)
 
 #: How long deploy() waits for every worker's ready frame.
 READY_TIMEOUT_S = 30.0
@@ -76,7 +81,7 @@ def _frame(*parts) -> bytes:
 _NET = b"net\x00"
 
 
-def _net_frame(src: str, dst: str, envelope: WireEnvelope) -> bytes:
+def _net_frame(src: str, dst: str, envelope) -> bytes:
     """A protocol frame: routing header + opaque canonical envelope."""
     return b"".join(
         (
@@ -143,9 +148,13 @@ class _WorkerHost:
         self.timer_entries: dict[tuple[str, object], dict] = {}
         self._timer_seq = 0
         self.errors: list[str] = []
+        self.flush_nodes: dict[str, object] = {}
 
     def add_node(self, node_id, node) -> _WorkerEnv:
-        self.nodes[str(node_id)] = node
+        key = str(node_id)
+        self.nodes[key] = node
+        if getattr(node, "wants_flush", False):
+            self.flush_nodes[key] = node
         return _WorkerEnv(self, node_id)
 
     # -- node-facing plumbing ------------------------------------------------
@@ -154,7 +163,7 @@ class _WorkerHost:
         if dst in self.nodes:
             self.local.append((src, dst, msg))
             return
-        if not isinstance(msg, WireEnvelope):
+        if not isinstance(msg, (WireEnvelope, BatchEnvelope)):
             raise ConfigurationError(
                 f"only wire envelopes may cross process boundaries, "
                 f"got {type(msg).__name__} for {dst!r}"
@@ -188,6 +197,9 @@ class _WorkerHost:
     # -- event loop ----------------------------------------------------------
 
     def _deliver_local(self) -> None:
+        # Tick batching: buffered channel output departs when the handler
+        # that produced it returns, mirroring the simulator's kernel tick.
+        flush_nodes = self.flush_nodes
         while self.local:
             src, dst, msg = self.local.popleft()
             node = self.nodes.get(dst)
@@ -195,6 +207,9 @@ class _WorkerHost:
                 continue
             try:
                 node.on_message(src, msg)
+                flusher = flush_nodes.get(dst)
+                if flusher is not None:
+                    flusher.on_flush()
             except Exception as exc:  # a faulty node must not kill the loop
                 self.errors.append(repr(exc))
         now = time.monotonic()
@@ -205,6 +220,9 @@ class _WorkerHost:
             self.timer_entries.pop((node_key, tag), None)
             try:
                 self.nodes[node_key].on_timer(tag)
+                flusher = flush_nodes.get(node_key)
+                if flusher is not None:
+                    flusher.on_flush()
             except Exception as exc:
                 self.errors.append(repr(exc))
 
@@ -246,6 +264,9 @@ class _WorkerHost:
                     for key, node in self.nodes.items():
                         try:
                             node.on_start()
+                            flusher = self.flush_nodes.get(key)
+                            if flusher is not None:
+                                flusher.on_flush()
                         except Exception as exc:
                             self.errors.append(repr(exc))
                 elif kind == "poll":
@@ -302,6 +323,7 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
         cost_model=scenario_cost_model(spec, decl),
         clbft_overrides=decl.clbft,
         fault_script=fault_plan.script_for(service, index),
+        batching=spec.batching,
     )
     voter.attach(host.add_node(voter_name(service, index), voter))
     driver.attach(host.add_node(driver_name(service, index), driver))

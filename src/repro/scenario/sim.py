@@ -140,6 +140,7 @@ class Deployment:
         engine_factory: Callable[[], SoapEngine] | None = None,
         hosts: list[str] | None = None,
         fault_plan=None,
+        batching: str | int = "off",
     ) -> ServiceDeployment:
         """Deploy a WS-level application as a replicated service."""
         self._ensure_declared(name, n)
@@ -158,6 +159,7 @@ class Deployment:
             clbft_overrides=clbft_overrides,
             hosts=hosts,
             fault_plan=fault_plan,
+            batching=batching,
         )
         deployed = ServiceDeployment(name=name, group=group, adapters=adapters)
         self.services[name] = deployed
@@ -282,6 +284,7 @@ class SimRuntime(Runtime):
                 clbft_overrides=decl.clbft,
                 hosts=list(decl.hosts) if decl.hosts is not None else None,
                 fault_plan=None if fault_plan.empty else fault_plan,
+                batching=spec.batching,
             )
             self._probes[decl.name] = built.probe
         for fault in spec.faults:

@@ -140,6 +140,12 @@ class ScenarioSpec:
     seed: int = 11
     #: Optional simulator event budget (None = unbounded).
     max_events: int | None = None
+    #: Channel-layer batching: ``"off"`` (one envelope per message),
+    #: ``"tick"`` (aggregate per destination within one kernel tick /
+    #: handler invocation), or a positive integer flush window in µs
+    #: (buffered messages flush when the window timer fires). See
+    #: ``docs/scenarios.md``.
+    batching: str | int = "off"
 
     # ------------------------------------------------------------------
     # Introspection
@@ -173,6 +179,15 @@ class ScenarioSpec:
                     f"service {decl.name!r}: {len(decl.hosts)} hosts for "
                     f"{decl.n} replicas"
                 )
+        if self.batching not in ("off", "tick") and not (
+            isinstance(self.batching, int)
+            and not isinstance(self.batching, bool)
+            and self.batching > 0
+        ):
+            raise ConfigurationError(
+                f"batching must be 'off', 'tick', or a positive flush "
+                f"window in microseconds (got {self.batching!r})"
+            )
         if self.network.kind not in NETWORK_KINDS:
             raise ConfigurationError(
                 f"unknown network kind {self.network.kind!r} "
@@ -335,6 +350,7 @@ class ScenarioSpec:
             "duration_s": self.duration_s,
             "seed": self.seed,
             "max_events": self.max_events,
+            "batching": self.batching,
         }
 
     @classmethod
@@ -380,6 +396,7 @@ class ScenarioSpec:
                 duration_s=data.get("duration_s", 60.0),
                 seed=data.get("seed", 11),
                 max_events=data.get("max_events"),
+                batching=data.get("batching", "off"),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(f"malformed scenario document: {exc}") from exc
@@ -428,6 +445,7 @@ class ScenarioBuilder:
         self._duration_s = 60.0
         self._seed = 11
         self._max_events: int | None = None
+        self._batching: str | int = "off"
 
     def service(
         self,
@@ -540,6 +558,11 @@ class ScenarioBuilder:
         self._max_events = budget
         return self
 
+    def batching(self, mode: str | int) -> "ScenarioBuilder":
+        """Channel batching: ``"off"``, ``"tick"``, or a window in µs."""
+        self._batching = mode
+        return self
+
     def build(self) -> ScenarioSpec:
         return ScenarioSpec(
             name=self._name,
@@ -551,4 +574,5 @@ class ScenarioBuilder:
             duration_s=self._duration_s,
             seed=self._seed,
             max_events=self._max_events,
+            batching=self._batching,
         ).validate()

@@ -90,6 +90,7 @@ class ThreadedRuntime(Runtime):
                 cost_model=scenario_cost_model(spec, decl),
                 clbft_overrides=decl.clbft,
                 fault_plan=None if fault_plan.empty else fault_plan,
+                batching=spec.batching,
             )
         for fault in spec.faults:
             if fault.kind == "crash":

@@ -13,6 +13,10 @@ machines and this kernel supplies everything the testbed did —
 
 Determinism is total: the same configuration and seed produce the same
 event trace, which the replay tests rely on.
+
+Contract: total determinism — same spec and seed, same event trace.
+Protocol code reads time and randomness only through this kernel's
+surfaces (rules DET001-DET005, ``docs/analysis.md``).
 """
 
 from repro.sim.kernel import Event, Simulator, SimNodeEnv, ProtocolNode

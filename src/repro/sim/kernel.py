@@ -55,6 +55,11 @@ class Event:
 class ProtocolNode:
     """Base class for everything that lives on the simulated network."""
 
+    #: True for nodes that buffer channel output until end-of-handler
+    #: (tick batching): every substrate calls :meth:`on_flush` after each
+    #: handler invocation on such nodes, and only on such nodes.
+    wants_flush = False
+
     def on_message(self, src: Any, msg: Any) -> None:
         raise NotImplementedError
 
@@ -63,6 +68,9 @@ class ProtocolNode:
 
     def on_start(self) -> None:
         """Hook invoked once when the simulation starts."""
+
+    def on_flush(self) -> None:
+        """End-of-handler hook (see :attr:`wants_flush`); default no-op."""
 
 
 class NodeCpu:
@@ -95,6 +103,9 @@ class Simulator:
         self._started = False
         self._cancelled_in_queue = 0
         self.events_processed = 0
+        # Nodes with wants_flush, by key: checked once per handler run, so
+        # batching=off pays one empty-dict probe, not an attribute walk.
+        self._flush_nodes: dict[str, ProtocolNode] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -123,6 +134,8 @@ class Simulator:
         env = SimNodeEnv(self, node_id)
         self._nodes[key] = node
         self._envs[key] = env
+        if getattr(node, "wants_flush", False):
+            self._flush_nodes[key] = node
         return env
 
     def node(self, node_id: Any) -> ProtocolNode:
@@ -232,6 +245,12 @@ class Simulator:
             return
         env.begin_handling(start_us)
         handler()
+        flush_node = self._flush_nodes.get(node_key)
+        if flush_node is not None:
+            # Tick batching: release the node's buffered channel output
+            # inside the same busy window, so batched sends depart at the
+            # handler's charge-accumulated point like any other send.
+            flush_node.on_flush()
         charged_us = env.end_handling()
         cpu.free_at_us = start_us + charged_us
         for depart_at_us, dispatch in env.drain_outbox():

@@ -17,6 +17,10 @@ package reproduces those moving parts at laptop scale:
 The paper observes (section 6.4) that XML marshaling cost is dwarfed by
 ChannelAdapter crypto; the engine still round-trips every payload through
 real XML so the same code path is exercised.
+
+Contract: marshaling is canonical and deterministic; protocol messages
+cross processes only as wire envelopes framed by
+:mod:`repro.transport.wire` (``docs/architecture.md``).
 """
 
 from repro.soap.addressing import WsAddressing

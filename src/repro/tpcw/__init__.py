@@ -18,6 +18,10 @@ This package supplies the pieces the paper's setup took from elsewhere:
   think times;
 - :mod:`repro.tpcw.harness`      -- deploys the whole Figure 5 chain and
   measures WIPS (the Figure 6 series).
+
+Runs as a declarative scenario (``docs/scenarios.md``, preset
+``tpcw-small``); the Figure 6 series feeds the benchmark trajectory of
+``docs/benchmarks.md``.
 """
 
 from repro.tpcw.harness import TpcwResult, run_tpcw

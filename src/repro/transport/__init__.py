@@ -14,6 +14,13 @@ layering:
   connection backs the threaded runtime;
 - :mod:`repro.transport.wire` — framing of protocol messages into
   authenticated wire envelopes.
+
+Contract: this is the only layer that constructs envelopes (rule
+WIRE003) — encode once through the blob cache, digest once per message,
+sign once per multicast, and, with batching enabled, one MAC vector per
+(sender, receiver) batch via :class:`repro.transport.wire.BatchEnvelope`
+and ``ChannelAdapter.flush``/``open_batch``. Full description:
+``docs/architecture.md`` ("The channel layer and batching").
 """
 
 from repro.transport.channel import ChannelAdapter

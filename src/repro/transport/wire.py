@@ -63,17 +63,112 @@ class WireEnvelope:
         return cached
 
 
-def envelope_to_wire(envelope: WireEnvelope) -> list:
+#: Wire marker distinguishing a batch from a plain envelope: a plain
+#: envelope's first wire element is the payload *bytes*, so a string tag
+#: can never collide with it.
+BATCH_WIRE_TAG = "__batch__"
+
+
+def batch_frame(items: tuple) -> bytes:
+    """Deterministic byte framing of a batch's items, the MAC input.
+
+    Length-prefixed so no item boundary is ambiguous: the batch MAC
+    covers every inner payload (and, for embedded envelopes, the inner
+    authenticator too), so a faulty relay cannot re-segment, reorder, or
+    splice items without the single batch verification failing.
+    """
+    parts: list[bytes] = []
+    append = parts.append
+    for kind, value in items:
+        if kind == "p":
+            append(b"p" + len(value).to_bytes(4, "big"))
+            append(value)
+        else:
+            append(b"e" + len(value.payload).to_bytes(4, "big"))
+            append(value.payload)
+            sender = value.auth.sender.encode()
+            append(len(sender).to_bytes(2, "big") + sender)
+            for name, tag in value.auth.entries:
+                encoded = name.encode()
+                append(len(encoded).to_bytes(2, "big") + encoded)
+                append(len(tag).to_bytes(2, "big") + tag)
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class BatchEnvelope:
+    """Several protocol messages under one MAC vector.
+
+    The channel layer aggregates every message bound for the same
+    (sender, receiver) pair within one flush interval into a batch.
+    ``items`` holds ``("p", payload_bytes)`` entries — plain payloads
+    covered *only* by the batch MAC — and ``("e", WireEnvelope)``
+    entries, embedded envelopes that keep their own full-audience
+    authenticator (used when the inner message must remain relayable or
+    provable to principals outside this pair, e.g. stage-1 request
+    proofs). One :class:`~repro.crypto.auth.Authenticator` entry over
+    :attr:`batch_digest` authenticates the whole batch.
+    """
+
+    items: tuple
+    auth: Authenticator
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size: inner payloads + one MAC entry."""
+        cached = getattr(self, "_size_bytes", None)
+        if cached is None:
+            body = 0
+            for kind, value in self.items:
+                if kind == "p":
+                    body += len(value) + 8
+                else:
+                    body += value.size_bytes + 8
+            mac_bytes = sum(len(tag) + 24 for _, tag in self.auth.entries)
+            cached = body + mac_bytes + 32
+            object.__setattr__(self, "_size_bytes", cached)
+        return cached
+
+    @property
+    def batch_digest(self) -> bytes:
+        """SHA-256 over the framed items, computed once per batch."""
+        cached = getattr(self, "_batch_digest", None)
+        if cached is None:
+            cached = digest(batch_frame(self.items))
+            object.__setattr__(self, "_batch_digest", cached)
+        return cached
+
+
+def envelope_to_wire(envelope: WireEnvelope | BatchEnvelope) -> list:
     """Flatten an envelope so it can ride *inside* another message.
 
     Perpetual embeds the ``fc + 1`` matching caller request envelopes in
     the agreement payload as proof that the calling service really issued
     the request; every target voter re-verifies its own MAC entry in each
-    embedded envelope.
+    embedded envelope. Batch envelopes flatten recursively (the process
+    substrate frames them through this same function).
     """
+    if type(envelope) is BatchEnvelope:
+        return [
+            BATCH_WIRE_TAG,
+            auth_to_wire(envelope.auth),
+            [
+                [kind, value if kind == "p" else envelope_to_wire(value)]
+                for kind, value in envelope.items
+            ],
+        ]
     return [envelope.payload, auth_to_wire(envelope.auth)]
 
 
-def envelope_from_wire(data: list) -> WireEnvelope:
+def envelope_from_wire(data: list) -> WireEnvelope | BatchEnvelope:
+    if data[0] == BATCH_WIRE_TAG:
+        _, auth, items = data
+        return BatchEnvelope(
+            items=tuple(
+                (kind, value if kind == "p" else envelope_from_wire(value))
+                for kind, value in items
+            ),
+            auth=auth_from_wire(auth),
+        )
     payload, auth = data
     return WireEnvelope(payload=payload, auth=auth_from_wire(auth))

@@ -14,6 +14,10 @@ This package is what a downstream web-service developer imports:
 - :mod:`repro.ws.descriptor` -- parses an actual ``replicas.xml`` document;
 - :mod:`repro.ws.registry`   -- a static UDDI stand-in for endpoint
   resolution (the paper's future-work discovery direction).
+
+Contract: handlers are deterministic (``Utils`` supplies agreed time
+and randomness) and all messaging rides the channel layer — the
+encode-once/digest-once path of ``docs/architecture.md``.
 """
 
 from repro.ws.api import MessageContext, MessageHandler, Options, Utils

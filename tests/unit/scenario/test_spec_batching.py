@@ -1,0 +1,48 @@
+"""The ``batching`` knob on ScenarioSpec: validation and serialisation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.scenario.spec import ScenarioBuilder, ScenarioSpec
+
+
+def minimal(batching):
+    return (
+        ScenarioBuilder("batching-spec")
+        .batching(batching)
+        .service("target", n=1, app="echo")
+        .build()
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("value", ["off", "tick", 1, 500, 250_000])
+    def test_accepted(self, value):
+        assert minimal(value).batching == value
+
+    @pytest.mark.parametrize("value", ["nope", "window", "", 0, -5, True, False, 2.5, None])
+    def test_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="batching"):
+            minimal(value)
+
+    def test_default_is_off(self):
+        spec = ScenarioBuilder("d").service("t", n=1, app="echo").build()
+        assert spec.batching == "off"
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("value", ["off", "tick", 500])
+    def test_json_round_trip(self, value):
+        spec = minimal(value)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()).batching == value
+
+    def test_documents_without_the_field_default_to_off(self):
+        spec = minimal("tick")
+        data = spec.to_dict()
+        del data["batching"]
+        assert ScenarioSpec.from_dict(data).batching == "off"
+
+    def test_with_replaces_batching(self):
+        spec = minimal("off")
+        assert spec.with_(batching="tick").batching == "tick"

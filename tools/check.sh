@@ -1,5 +1,5 @@
 #!/bin/sh
-# Pre-merge gate: static analysis must be clean, then tier-1 must pass.
+# Pre-merge gate: static analysis clean, docs in sync, then tier-1 passes.
 # Run from the repo root:  sh tools/check.sh
 set -e
 
@@ -8,6 +8,9 @@ export PYTHONPATH=src
 
 echo "== repro.analysis (invariant linter) =="
 python -m repro.analysis src
+
+echo "== docs (CLI examples + rule tables in sync) =="
+python tools/check_docs.py
 
 echo "== tier-1 tests (soak excluded) =="
 python -m pytest -x -q
