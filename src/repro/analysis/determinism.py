@@ -30,6 +30,7 @@ DETERMINISM_SCOPE = (
     "ws/",
     "faults/",
     "scenario/sim.py",
+    "sharding/",
 )
 
 #: The one module allowed to touch the ``random`` module: the seeded

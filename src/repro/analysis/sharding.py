@@ -1,0 +1,88 @@
+"""Sharding-contract rule: cross-group addressing goes through the Router.
+
+PR 9 split scenarios into independent BFT groups with a client-side
+router tier (``repro.sharding``). The structural contract: protocol and
+application code never decides group placement itself — it does not
+construct rings or routers, and it does not ask one where a service
+lives. The driver's ``_issue`` prologue calls the opaque
+``Router.forward`` handle it was given at deploy time; everything else
+(group assignment, consistent-hash points, pinning) is the scenario
+layer's business. Code that reaches around that tier re-creates the
+pre-sharding failure mode — a principal in one group hard-wired to a
+principal in another — which the runtime cannot detect because the flat
+namespace happily delivers the frame.
+
+Suppressions follow the house style:
+``# analysis: allow(SHARD001) -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Rule, SourceFile, Violation, register
+
+#: Modules that *are* the routing tier or legitimately orchestrate it:
+#: the sharding package itself, the scenario layer (substrates build the
+#: router and stamp per-group metrics), and the linter's own fixtures.
+ROUTER_MODULES = (
+    "sharding/",
+    "scenario/",
+    "analysis/",
+)
+
+#: Constructors/factories protocol code must not call: building a ring
+#: or router implies deciding placement locally.
+_ROUTER_FACTORIES = frozenset(("Router", "HashRing", "build_router"))
+
+#: Placement queries reserved for the scenario layer. ``forward`` is
+#: deliberately absent — it is the sanctioned driver-side handle.
+_PLACEMENT_QUERIES = frozenset(("group_for_service", "home_group_for"))
+
+
+@register
+class CrossGroupAddressingRule(Rule):
+    id = "SHARD001"
+    title = "no direct cross-group addressing outside the router tier"
+    rationale = (
+        "A principal that builds its own Router/HashRing or asks one "
+        "where a service lives is deciding placement locally — the "
+        "flat namespace will deliver the frame, so nothing at runtime "
+        "catches a group boundary crossed without the router's "
+        "counters or policy. Cross-group traffic flows through the "
+        "Router.forward handle injected at deploy time; placement "
+        "queries stay in the scenario layer."
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not any(
+            module == entry
+            or (entry.endswith("/") and module.startswith(entry))
+            for entry in ROUTER_MODULES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _ROUTER_FACTORIES:
+                yield src.violation(
+                    self,
+                    node,
+                    f"{func.id}() constructed outside the routing tier — "
+                    "accept the router the scenario layer injects "
+                    "(build_replica(router=...)) instead of building one",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _PLACEMENT_QUERIES
+            ):
+                yield src.violation(
+                    self,
+                    node,
+                    f".{func.attr}() placement query outside the scenario "
+                    "layer — route the call through Router.forward and let "
+                    "the routing tier resolve the group",
+                )

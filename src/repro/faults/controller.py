@@ -115,7 +115,7 @@ class FaultPlan:
                 cur = ReplicaFaultScript(service=service, index=index)
             merged[(service, index)] = replace(cur, **changes)
 
-        for fault in spec.faults:
+        for fault in spec.all_faults():
             if fault.kind == "byzantine":
                 patch(fault.service, fault.index,
                       byzantine_mode=fault.params.get("mode", "equivocate"))
@@ -325,7 +325,7 @@ class FaultInjector:
 def require_supported_kinds(spec: Any, unsupported: tuple, runtime: str) -> None:
     """Raise ConfigurationError if the spec declares fault kinds the
     named runtime cannot enforce (e.g. sim-only ``link`` faults)."""
-    for fault in spec.faults:
+    for fault in spec.all_faults():
         if fault.kind in unsupported:
             raise ConfigurationError(
                 f"{runtime} runtime does not support {fault.kind!r} faults "

@@ -83,6 +83,8 @@ def build_replica(
     retransmit_timeout_us: int | None = None,
     fault_script: Any | None = None,
     batching: str | int = "off",
+    router: Any | None = None,
+    home_group: str | None = None,
 ) -> tuple[VoterNode, DriverNode]:
     """One replica's co-located voter/driver pair, unattached.
 
@@ -120,6 +122,8 @@ def build_replica(
         cost_model=cost_model,
         fault=driver_fault,
         batching=batching,
+        router=router,
+        home_group=home_group,
         **driver_kwargs,
     )
     return voter, driver
@@ -137,6 +141,8 @@ def deploy_service(
     hosts: list[str] | None = None,
     fault_plan: Any | None = None,
     batching: str | int = "off",
+    router: Any | None = None,
+    home_group: str | None = None,
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the simulator.
 
@@ -165,6 +171,8 @@ def deploy_service(
                 if fault_plan is not None else None
             ),
             batching=batching,
+            router=router,
+            home_group=home_group,
         )
         voter.attach(sim.add_node(voter_name(service, index), voter, host=host))
         voters.append(voter)

@@ -27,6 +27,8 @@ def deploy_threaded_service(
     retransmit_timeout_us: int = 100_000,
     fault_plan=None,
     batching: str | int = "off",
+    router=None,
+    home_group: str | None = None,
 ) -> ServiceGroup:
     """Deploy every replica of ``service`` onto the threaded cluster."""
     spec = topology.spec(service)
@@ -47,6 +49,8 @@ def deploy_threaded_service(
                 if fault_plan is not None else None
             ),
             batching=batching,
+            router=router,
+            home_group=home_group,
         )
         voter.attach(cluster.add_node(voter_name(service, index), voter))
         voters.append(voter)

@@ -52,7 +52,9 @@ from repro.scenario.runtime import (
 from repro.scenario.spec import (
     AppSpec,
     FaultSpec,
+    GroupSpec,
     NetworkSpec,
+    RoutingSpec,
     ScenarioBuilder,
     ScenarioSpec,
     ServiceDecl,
@@ -62,7 +64,9 @@ __all__ = [
     "AppSpec",
     "BuiltApp",
     "FaultSpec",
+    "GroupSpec",
     "NetworkSpec",
+    "RoutingSpec",
     "RUNTIME_NAMES",
     "Runtime",
     "ScenarioBuilder",

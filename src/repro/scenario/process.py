@@ -58,6 +58,7 @@ from repro.scenario.runtime import (
     observer_index,
 )
 from repro.scenario.spec import ScenarioSpec
+from repro.sharding import build_router
 from repro.transport.wire import (
     BatchEnvelope,
     WireEnvelope,
@@ -302,8 +303,15 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
 
     spec = ScenarioSpec.from_json(spec_json)
     decl = spec.service(service)
+    # Sharded specs rebuild the full routing table here: the topology
+    # spans every group (the flat principal namespace routes cross-group
+    # frames through the parent exactly like local ones), and the driver
+    # gets the router handle plus its home group.
+    from repro.sharding import build_router
+
+    router = build_router(spec)
     topology = Topology()
-    for s in spec.services:
+    for s in spec.all_services():
         topology.add(s.name, s.n)
     keys = KeyStore.for_deployment(spec.name)
     built = build_app(decl.app)
@@ -324,6 +332,10 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
         clbft_overrides=decl.clbft,
         fault_script=fault_plan.script_for(service, index),
         batching=spec.batching,
+        router=router,
+        home_group=(
+            router.group_for_service(service) if router is not None else None
+        ),
     )
     voter.attach(host.add_node(voter_name(service, index), voter))
     driver.attach(host.add_node(driver_name(service, index), driver))
@@ -381,6 +393,8 @@ class ProcessRuntime(Runtime):
         self._router_thread: threading.Thread | None = None
         self._egress_thread: threading.Thread | None = None
         self._epoch = 0.0
+        #: Sharding routing table (None on classic single-group specs).
+        self._router = None
 
     # -- deployment ----------------------------------------------------------
 
@@ -398,7 +412,7 @@ class ProcessRuntime(Runtime):
             scenario_cost_model,
         )
 
-        for decl in spec.services:
+        for decl in spec.all_services():
             build_app(decl.app)
             scenario_cost_model(spec, decl)
             name = decl.crypto if decl.crypto is not None else spec.crypto
@@ -409,50 +423,67 @@ class ProcessRuntime(Runtime):
                     "registry; worker processes cannot rebuild it — carry "
                     "it in the spec via crypto_params instead"
                 )
-        crashed = {(f.service, f.index) for f in spec.faults if f.kind == "crash"}
+        crashed = {
+            (f.service, f.index) for f in spec.all_faults() if f.kind == "crash"
+        }
         self._spec = spec
+        self._router = build_router(spec)
         ctx = multiprocessing.get_context()
         spec_json = spec.to_json()
-        for decl in spec.services:
-            for index in range(decl.n):
-                key = (decl.name, index)
-                if key in crashed:
-                    continue  # a crashed machine is simply never started
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(spec_json, decl.name, index, child_conn),
-                    daemon=True,
-                    name=f"repro-{decl.name}-{index}",
-                )
-                proc.start()
-                child_conn.close()
-                # The router/egress threads read these maps under
-                # self._lock; writing under the same lock keeps the
-                # discipline local instead of relying on the threads
-                # starting only after the loop.
-                with self._lock:
-                    self._procs[key] = proc
-                    self._conns[key] = parent_conn
-                    self._alive[parent_conn] = key
+        # The router/egress threads start before the first spawn (they
+        # idle happily on an empty connection table), so a spawn failure
+        # part-way through the loop still leaves a fully functional
+        # teardown path: shutdown() can broadcast stop, drain the pipes,
+        # and join both threads — no orphans on partial startup.
         self._router_thread = threading.Thread(target=self._route, daemon=True)
         self._egress_thread = threading.Thread(target=self._drain_egress, daemon=True)
         self._router_thread.start()
         self._egress_thread.start()
+        try:
+            for decl in spec.all_services():
+                for index in range(decl.n):
+                    if (decl.name, index) in crashed:
+                        continue  # a crashed machine is simply never started
+                    self._start_worker(ctx, spec_json, decl.name, index)
 
-        deadline = time.monotonic() + READY_TIMEOUT_S
-        while time.monotonic() < deadline:
-            with self._lock:
-                if self._ready == set(self._conns):
-                    break
-            time.sleep(0.01)
-        else:
-            missing = sorted(set(self._conns) - self._ready)
+            deadline = time.monotonic() + READY_TIMEOUT_S
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if self._ready == set(self._conns):
+                        break
+                time.sleep(0.01)
+            else:
+                missing = sorted(set(self._conns) - self._ready)
+                raise ConfigurationError(
+                    f"workers never became ready: {missing}"
+                )
+        except BaseException:
             self.shutdown()
-            raise ConfigurationError(f"workers never became ready: {missing}")
+            raise
         self._epoch = time.monotonic()
         self._broadcast("go")
         return self
+
+    def _start_worker(
+        self, ctx, spec_json: str, service: str, index: int
+    ) -> None:
+        """Spawn one replica's worker process and register its pipe."""
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(spec_json, service, index, child_conn),
+            daemon=True,
+            name=f"repro-{service}-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        # The router/egress threads read these maps under self._lock;
+        # writing under the same lock keeps the discipline local instead
+        # of relying on thread start order.
+        with self._lock:
+            self._procs[(service, index)] = proc
+            self._conns[(service, index)] = parent_conn
+            self._alive[parent_conn] = (service, index)
 
     def worker_pids(self) -> list[int]:
         """PIDs of the worker processes (one per live voter/driver pair)."""
@@ -597,7 +628,11 @@ class ProcessRuntime(Runtime):
         with self._lock:
             stats = {key: dict(value) for key, value in self._stats.items()}
         services: dict[str, ServiceMetrics] = {}
-        for decl in self._spec.services:
+        for decl in self._spec.all_services():
+            group = self._spec.group_of(decl.name) or (
+                self._router.group_for_service(decl.name)
+                if self._router is not None else None
+            )
             # The same observer rule as every substrate (lowest live
             # replica); fall back to any reporting replica if the
             # observer's worker has no stats yet.
@@ -606,7 +641,7 @@ class ProcessRuntime(Runtime):
             if data is None:
                 indices = [i for (name, i) in stats if name == decl.name]
                 if not indices:
-                    services[decl.name] = ServiceMetrics(n=decl.n)
+                    services[decl.name] = ServiceMetrics(n=decl.n, group=group)
                     continue
                 data = stats[(decl.name, min(indices))]
             services[decl.name] = ServiceMetrics(
@@ -627,6 +662,7 @@ class ProcessRuntime(Runtime):
                 ),
                 reply_cache_size=data.get("reply_cache_size", 0),
                 app=dict(data.get("app") or {}),
+                group=group,
             )
         # Counters sum across workers: each zeroes METRICS at bootstrap,
         # so the sum is exactly this run's activity.

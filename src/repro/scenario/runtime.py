@@ -38,7 +38,7 @@ def observer_index(spec: ScenarioSpec, service: str) -> int:
     every substrate identically.
     """
     crashed = {
-        f.index for f in spec.faults
+        f.index for f in spec.all_faults()
         if f.kind == "crash" and f.service == service
     }
     n = spec.service(service).n
@@ -65,6 +65,9 @@ class ServiceMetrics:
     reply_cache_size: int = 0
     #: Application probe output (workload counters, TPC-W stats, ...).
     app: dict = field(default_factory=dict)
+    #: Home group in a sharded scenario (None on classic single-group
+    #: runs, so unsharded metrics keep their exact pre-sharding shape).
+    group: str | None = None
 
 
 @dataclass
@@ -89,6 +92,20 @@ class ScenarioMetrics:
 
     def total_aborted(self) -> int:
         return sum(s.aborted_calls for s in self.services.values())
+
+    def by_group(self) -> dict[str | None, dict]:
+        """Per-group aggregation, keyed by group name in first-seen
+        (declaration) order; classic runs yield one ``None`` bucket."""
+        out: dict[str | None, dict] = {}
+        for name, svc in self.services.items():
+            bucket = out.setdefault(
+                svc.group,
+                {"services": [], "completed_calls": 0, "aborted_calls": 0},
+            )
+            bucket["services"].append(name)
+            bucket["completed_calls"] += svc.completed_calls
+            bucket["aborted_calls"] += svc.aborted_calls
+        return out
 
 
 class Runtime:

@@ -141,6 +141,8 @@ class Deployment:
         hosts: list[str] | None = None,
         fault_plan=None,
         batching: str | int = "off",
+        router=None,
+        home_group: str | None = None,
     ) -> ServiceDeployment:
         """Deploy a WS-level application as a replicated service."""
         self._ensure_declared(name, n)
@@ -160,6 +162,8 @@ class Deployment:
             hosts=hosts,
             fault_plan=fault_plan,
             batching=batching,
+            router=router,
+            home_group=home_group,
         )
         deployed = ServiceDeployment(name=name, group=group, adapters=adapters)
         self.services[name] = deployed
@@ -255,7 +259,19 @@ def build_network(spec: ScenarioSpec) -> tuple[NetworkModel, PartitionModel | No
 
 
 class SimRuntime(Runtime):
-    """Executes scenarios on the deterministic discrete-event kernel."""
+    """Executes scenarios on the deterministic discrete-event kernel.
+
+    A sharded spec (``spec.groups`` non-empty) runs as one sub-kernel
+    per group: ``run()`` deploys, runs, and observes each group's
+    single-group slice (see :func:`repro.sharding.group_subspec`) on a
+    fresh child ``SimRuntime`` in declaration order — sequential, so the
+    METRICS counter windows of the groups never overlap — and
+    ``metrics()`` merges the per-group observations deterministically.
+    Single-group scenarios take the classic path below, untouched and
+    bit-identical to previous releases. Cross-group calls cannot be
+    simulated (each sub-kernel is a closed world); the live substrates
+    execute them for real.
+    """
 
     name = "sim"
 
@@ -264,9 +280,22 @@ class SimRuntime(Runtime):
         self._spec: ScenarioSpec | None = None
         self._probes: dict[str, Callable[[], dict] | None] = {}
         self._metrics_base: dict[str, int] = {}
+        #: Router injected into drivers (sharded sub-kernels only).
+        self._router = None
+        #: Sharded parent state: per-group (name, metrics) observations.
+        self._group_parts: list[tuple[str, ScenarioMetrics]] | None = None
 
     def deploy(self, spec: ScenarioSpec) -> "SimRuntime":
         spec.validate()
+        if spec.groups:
+            # Sharded: plan only — each group's sub-kernel is deployed
+            # lazily by run(), immediately before it runs.
+            from repro.sharding import build_router
+
+            self._spec = spec
+            self._router = build_router(spec)
+            self._group_parts = []
+            return self
         # Every scenario starts with cold wire caches: runs measure equal
         # cache state and dead message graphs from earlier runs are freed.
         clear_wire_caches()
@@ -285,6 +314,11 @@ class SimRuntime(Runtime):
                 hosts=list(decl.hosts) if decl.hosts is not None else None,
                 fault_plan=None if fault_plan.empty else fault_plan,
                 batching=spec.batching,
+                router=self._router,
+                home_group=(
+                    self._router.group_for_service(decl.name)
+                    if self._router is not None else None
+                ),
             )
             self._probes[decl.name] = built.probe
         for fault in spec.faults:
@@ -297,12 +331,28 @@ class SimRuntime(Runtime):
         return self
 
     def run(self, until_s: float | None = None) -> None:
+        if self._group_parts is not None:
+            from repro.sharding import group_subspec
+
+            for group in self._spec.groups:
+                child = SimRuntime()
+                child._router = self._router
+                child.deploy(group_subspec(self._spec, group, self._router))
+                child.run(until_s)
+                self._group_parts.append((group.name, child.metrics()))
+            return
         self.deployment.run(
             seconds=self._spec.duration_s if until_s is None else until_s,
             max_events=self._spec.max_events,
         )
 
     def metrics(self) -> ScenarioMetrics:
+        if self._group_parts is not None:
+            from repro.sharding import merge_group_metrics
+
+            return merge_group_metrics(
+                self._spec.name, self.name, self._group_parts
+            )
         services: dict[str, ServiceMetrics] = {}
         for name, deployed in self.deployment.services.items():
             observer = observer_index(self._spec, name)

@@ -40,6 +40,7 @@ from repro.scenario.runtime import (
     observer_index,
 )
 from repro.scenario.spec import ScenarioSpec
+from repro.sharding import build_router
 from repro.ws.adapter import WsAdapter, collecting_executor_factory
 
 
@@ -60,6 +61,7 @@ class ThreadedRuntime(Runtime):
         self._probes: dict[str, Callable[[], dict] | None] = {}
         self._epoch = 0.0
         self._metrics_base: dict[str, int] = {}
+        self._router = None
 
     def _ws_factory(self, service: str, built: BuiltApp):
         return collecting_executor_factory(
@@ -70,14 +72,19 @@ class ThreadedRuntime(Runtime):
         spec.validate()
         require_supported_kinds(spec, ("link",), self.name)
         fault_plan = FaultPlan.from_spec(spec)
+        # Sharded specs deploy every group onto this one cluster: each
+        # node already owns a thread, so the groups' worker sets run
+        # concurrently, and cross-group calls travel the same mailboxes
+        # as local ones — routed, because every driver gets the router.
+        router = build_router(spec)
         # Cold wire caches per deployment, as on every substrate.
         clear_wire_caches()
         cluster = ThreadedCluster(debug_locks=self.debug_locks)
         topology = Topology()
-        for decl in spec.services:
+        for decl in spec.all_services():
             topology.add(decl.name, decl.n)
         keys = KeyStore.for_deployment(spec.name)
-        for decl in spec.services:
+        for decl in spec.all_services():
             built = build_app(decl.app)
             self._adapters[decl.name] = []
             self._probes[decl.name] = built.probe
@@ -91,13 +98,19 @@ class ThreadedRuntime(Runtime):
                 clbft_overrides=decl.clbft,
                 fault_plan=None if fault_plan.empty else fault_plan,
                 batching=spec.batching,
+                router=router,
+                home_group=(
+                    router.group_for_service(decl.name)
+                    if router is not None else None
+                ),
             )
-        for fault in spec.faults:
+        for fault in spec.all_faults():
             if fault.kind == "crash":
                 cluster.drop_node(voter_name(fault.service, fault.index))
                 cluster.drop_node(driver_name(fault.service, fault.index))
         self.cluster = cluster
         self._spec = spec
+        self._router = router
         self._metrics_base = METRICS.snapshot()
         return self
 
@@ -172,6 +185,10 @@ class ThreadedRuntime(Runtime):
                 ),
                 reply_cache_size=voter.reply_cache_size,
                 app=probe() if probe is not None else {},
+                group=self._spec.group_of(name) or (
+                    self._router.group_for_service(name)
+                    if self._router is not None else None
+                ),
             )
         elapsed_us = int((time.monotonic() - self._epoch) * 1_000_000)
         snapshot = METRICS.snapshot()

@@ -1,0 +1,121 @@
+"""Consistent-hash ring and the client-side router tier.
+
+The router is pure routing state derived from a validated
+:class:`~repro.scenario.spec.ScenarioSpec`: no I/O, no clocks, no
+ambient randomness (SHA-256 only), so every substrate — including
+spawned worker processes that only see spec JSON — rebuilds an
+identical table.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: Virtual points per group on the ring (``routing.params["vnodes"]``).
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring coordinate for ``key``."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over group names.
+
+    Each group contributes ``vnodes`` virtual points (``"{group}#{i}"``);
+    a key lands on the first point clockwise from its own hash. Adding
+    or removing one group only remaps the keys whose arcs it owned.
+    """
+
+    def __init__(self, groups: tuple[str, ...] | list[str], vnodes: int = DEFAULT_VNODES):
+        if not groups:
+            raise ConfigurationError("hash ring needs at least one group")
+        points = [
+            (_point(f"{group}#{i}"), group)
+            for group in groups
+            for i in range(vnodes)
+        ]
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [g for _, g in points]
+
+    def assign(self, key: str) -> str:
+        """The group owning ``key``'s arc of the ring."""
+        i = bisect.bisect_right(self._points, _point(key))
+        return self._owners[i % len(self._owners)]
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """The outcome of routing one call: its target group, and whether
+    the call left the caller's home group."""
+
+    target_group: str
+    cross_group: bool
+
+
+class Router:
+    """Resolves every service of a sharded scenario to its home group.
+
+    Group-declared services are pinned to their declaring group under
+    both policies; under ``consistent_hash`` the top-level (ungrouped)
+    client services are additionally placed on a :class:`HashRing` keyed
+    by their service name. Built once per deployment from the spec and
+    injected into drivers; drivers only call :meth:`forward`.
+    """
+
+    def __init__(self, spec) -> None:
+        if not spec.groups:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} declares no groups; a router is "
+                f"only meaningful for sharded scenarios"
+            )
+        routing = spec.routing
+        self._policy = routing.policy
+        self._pinned: dict[str, str] = {}
+        for group in spec.groups:
+            for decl in group.services:
+                self._pinned[decl.name] = group.name
+        if spec.services:
+            ring = HashRing(
+                tuple(group.name for group in spec.groups),
+                vnodes=routing.params.get("vnodes", DEFAULT_VNODES),
+            )
+            for decl in spec.services:
+                self._pinned[decl.name] = ring.assign(decl.name)
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    def group_for_service(self, service: str) -> str:
+        """The home group of ``service`` (pinned or ring-assigned)."""
+        try:
+            return self._pinned[service]
+        except KeyError:
+            raise ConfigurationError(
+                f"router knows no service {service!r}"
+            ) from None
+
+    def home_group_for(self, client: str) -> str:
+        """The home group a client service's drivers belong to."""
+        return self.group_for_service(client)
+
+    def forward(self, source_group: str | None, target_service: str) -> RouteDecision:
+        """Route one call: where does ``target_service`` live, and does
+        the call cross a group boundary from ``source_group``?"""
+        target_group = self.group_for_service(target_service)
+        return RouteDecision(
+            target_group=target_group,
+            cross_group=source_group is not None and target_group != source_group,
+        )
+
+
+def build_router(spec) -> Router | None:
+    """A :class:`Router` for sharded specs, None for classic ones."""
+    return Router(spec) if spec.groups else None

@@ -1,0 +1,74 @@
+"""Flatten a sharded scenario into per-group sub-scenarios, and merge
+the per-group observations back deterministically.
+
+The simulator runs a sharded scenario as one sub-kernel per group (see
+``docs/architecture.md``): each sub-kernel executes a classic
+single-group :class:`~repro.scenario.spec.ScenarioSpec` produced by
+:func:`group_subspec`, and :func:`merge_group_metrics` folds the
+per-group :class:`~repro.scenario.runtime.ScenarioMetrics` into one —
+groups in declaration order, counter keys sorted — so the merged result
+is a pure function of the spec.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.runtime import ScenarioMetrics
+from repro.scenario.spec import GroupSpec, ScenarioSpec
+
+
+def group_subspec(spec: ScenarioSpec, group: GroupSpec, router) -> ScenarioSpec:
+    """One group's slice of a sharded spec as a classic flat spec.
+
+    The slice holds the group's own services and faults plus every
+    top-level client service the ``router`` assigns to this group (and
+    any top-level faults on those clients). Network, crypto, batching,
+    seed, and budgets are inherited from the parent spec.
+    """
+    assigned = tuple(
+        decl for decl in spec.services
+        if router.group_for_service(decl.name) == group.name
+    )
+    assigned_names = {decl.name for decl in assigned}
+    return ScenarioSpec(
+        name=spec.name,
+        services=group.services + assigned,
+        network=spec.network,
+        crypto=spec.crypto,
+        crypto_params=spec.crypto_params,
+        faults=group.faults + tuple(
+            fault for fault in spec.faults if fault.service in assigned_names
+        ),
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        max_events=spec.max_events,
+        batching=spec.batching,
+    )
+
+
+def merge_group_metrics(
+    scenario: str,
+    runtime: str,
+    parts: list[tuple[str, ScenarioMetrics]],
+) -> ScenarioMetrics:
+    """Fold per-group metrics into one deterministic observation.
+
+    ``parts`` is ``[(group_name, metrics), ...]`` in group declaration
+    order; every service is labeled with its group, counters are summed
+    over the sorted union of keys, and clocks take the max (the groups
+    ran the same simulated window independently).
+    """
+    merged = ScenarioMetrics(scenario=scenario, runtime=runtime)
+    keys: set[str] = set()
+    for group_name, part in parts:
+        for service_name, svc in part.services.items():
+            svc.group = group_name
+            merged.services[service_name] = svc
+        merged.now_us = max(merged.now_us, part.now_us)
+        merged.events_processed += part.events_processed
+        merged.processes = max(merged.processes, part.processes)
+        keys.update(part.counters)
+    for key in sorted(keys):
+        merged.counters[key] = sum(
+            part.counters.get(key, 0) for _, part in parts
+        )
+    return merged

@@ -1,0 +1,190 @@
+"""Integration: sharded scenarios across the three substrates.
+
+Pins from the sharding tentpole:
+
+- a group-closed 2-group echo scenario completes identically on sim,
+  threaded, and process, with per-group metric labels, a deterministic
+  cross-group merge, and ``requests_routed``/``cross_group_calls``
+  counters;
+- a consistent-hash top-level client crosses a group boundary through
+  the router on the live substrates (the counters prove the path), while
+  the simulator — whose groups run in closed sub-kernels — rejects the
+  same spec loudly instead of mis-executing it;
+- process-substrate shutdown joins the router/egress threads even when
+  a worker fails to spawn mid-deploy (no orphaned threads or children).
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.scenario.presets import sharded_echo_scenario
+from repro.scenario.process import ProcessRuntime
+from repro.scenario.runtime import get_runtime, run_scenario
+from repro.scenario.spec import ScenarioBuilder
+from repro.sharding import HashRing
+
+TOTAL_CALLS = 4
+
+
+def two_group_echo(name):
+    return sharded_echo_scenario(
+        group_count=2, n=4, total_calls=TOTAL_CALLS, name=name
+    )
+
+
+def assert_sharded_echo_shape(metrics):
+    for group in ("g0", "g1"):
+        caller = metrics.services[f"{group}-caller"]
+        assert caller.completed_calls == TOTAL_CALLS
+        assert caller.aborted_calls == 0
+        assert caller.group == group
+        assert metrics.services[f"{group}-target"].group == group
+    per_group = metrics.by_group()
+    assert set(per_group) == {"g0", "g1"}
+    for summary in per_group.values():
+        assert summary["completed_calls"] == TOTAL_CALLS
+    # Every driver replica routes each issue; the preset is group-closed.
+    assert metrics.counters["requests_routed"] == 2 * 4 * TOTAL_CALLS
+    assert metrics.counters["cross_group_calls"] == 0
+
+
+class TestTwoGroupEchoParity:
+    def test_sim(self):
+        metrics = run_scenario(two_group_echo("sharded-echo-sim"), runtime="sim")
+        assert_sharded_echo_shape(metrics)
+
+    def test_sim_is_deterministic(self):
+        from dataclasses import asdict
+
+        spec = two_group_echo("sharded-echo-det")
+        a = run_scenario(spec, runtime="sim")
+        b = run_scenario(spec, runtime="sim")
+        assert asdict(a) == asdict(b)
+
+    def test_threaded(self):
+        runtime = get_runtime("threaded")
+        runtime.deploy(two_group_echo("sharded-echo-thr"))
+        try:
+            runtime.run(until_s=60)
+            metrics = runtime.metrics()
+            assert runtime.errors() == []
+        finally:
+            runtime.shutdown()
+        assert_sharded_echo_shape(metrics)
+
+    def test_process(self):
+        runtime = ProcessRuntime(poll_interval_s=0.05)
+        runtime.deploy(two_group_echo("sharded-echo-proc"))
+        try:
+            runtime.run(until_s=60)
+            metrics = runtime.metrics()
+            assert runtime.worker_errors() == {}
+        finally:
+            runtime.shutdown()
+        assert_sharded_echo_shape(metrics)
+        # One OS process per voter/driver pair across both groups.
+        assert metrics.processes == 16
+
+
+def cross_group_spec():
+    """A top-level client whose ring home is NOT its target's group.
+
+    The ring is deterministic, so probe it for a client name that lands
+    on g1 while calling into g0 — every issue then crosses a boundary.
+    """
+    ring = HashRing(("g0", "g1"))
+    client = next(
+        name
+        for i in range(50)
+        for name in [f"client{i}"]
+        if ring.assign(name) == "g1"
+    )
+    return (
+        ScenarioBuilder("sharded-cross")
+        .routing("consistent_hash")
+        .service("g0-target", n=4, app="echo", group="g0")
+        .service("g1-other", n=4, app="echo", group="g1")
+        .service(client, n=4, app="sync_caller",
+                 target="g0-target", total_calls=3)
+        .build()
+    ), client
+
+
+class TestCrossGroupCalls:
+    def test_threaded_routes_across_groups(self):
+        spec, client = cross_group_spec()
+        runtime = get_runtime("threaded")
+        runtime.deploy(spec)
+        try:
+            runtime.run(until_s=60)
+            metrics = runtime.metrics()
+            assert runtime.errors() == []
+        finally:
+            runtime.shutdown()
+        assert metrics.services[client].completed_calls == 3
+        assert metrics.services[client].group == "g1"
+        # 4 caller replicas x 3 calls, every one across the boundary.
+        assert metrics.counters["requests_routed"] == 12
+        assert metrics.counters["cross_group_calls"] == 12
+
+    def test_process_routes_across_groups(self):
+        spec, client = cross_group_spec()
+        runtime = ProcessRuntime(poll_interval_s=0.05)
+        runtime.deploy(spec)
+        try:
+            runtime.run(until_s=60)
+            metrics = runtime.metrics()
+            assert runtime.worker_errors() == {}
+        finally:
+            runtime.shutdown()
+        assert metrics.services[client].completed_calls == 3
+        assert metrics.counters["cross_group_calls"] == 12
+
+    def test_sim_rejects_cross_group_calls(self):
+        # The simulator runs each group in a closed sub-kernel, so a
+        # cross-group call has no path — the deploy-time topology misses
+        # the target and the run fails loudly (documented limitation).
+        spec, _ = cross_group_spec()
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec, runtime="sim")
+
+
+class TestPartialStartupTeardown:
+    def test_failed_spawn_leaves_no_orphan_threads_or_children(
+        self, monkeypatch
+    ):
+        spec = two_group_echo("sharded-partial-start")
+        baseline_threads = threading.active_count()
+        original = ProcessRuntime._start_worker
+        spawned = {"n": 0}
+
+        def failing(self, ctx, spec_json, service, index):
+            spawned["n"] += 1
+            if spawned["n"] == 5:
+                raise RuntimeError("synthetic spawn failure")
+            return original(self, ctx, spec_json, service, index)
+
+        monkeypatch.setattr(ProcessRuntime, "_start_worker", failing)
+        runtime = ProcessRuntime(poll_interval_s=0.05)
+        with pytest.raises(RuntimeError, match="synthetic spawn failure"):
+            runtime.deploy(spec)
+        # Deploy's failure path runs shutdown(): router + egress threads
+        # joined, the four already-spawned workers reaped.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            children = [
+                p for p in multiprocessing.active_children()
+                if p.name.startswith("repro-")
+            ]
+            if threading.active_count() <= baseline_threads and not children:
+                break
+            time.sleep(0.05)
+        assert threading.active_count() <= baseline_threads
+        assert [
+            p.name for p in multiprocessing.active_children()
+            if p.name.startswith("repro-")
+        ] == []

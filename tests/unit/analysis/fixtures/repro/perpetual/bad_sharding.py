@@ -1,0 +1,34 @@
+"""Fixture: the sharding contract fires outside the routing tier.
+
+``repro/perpetual`` is protocol code, so building rings/routers or
+asking one where a service lives is exactly what SHARD001 exists to
+catch — placement decisions belong to the scenario layer.
+"""
+
+from repro.sharding import HashRing, Router, build_router
+
+
+def hand_rolled_ring(groups):
+    return HashRing(groups)  # expect: SHARD001
+
+
+def local_router(spec):
+    return Router(spec)  # expect: SHARD001
+
+
+def maybe_router(spec):
+    return build_router(spec)  # expect: SHARD001
+
+
+def peer_group(router, target):
+    return router.group_for_service(target)  # expect: SHARD001
+
+
+def my_group(router, client):
+    return router.home_group_for(client)  # expect: SHARD001
+
+
+def sanctioned(router, home_group, target):
+    # The injected handle is the one legal way to cross a group
+    # boundary — no marker: ``forward`` must stay unflagged.
+    return router.forward(home_group, target)

@@ -1,0 +1,24 @@
+"""Fixture: the routing tier itself is allowlisted for SHARD001.
+
+``repro/sharding`` is where rings and routers are built and placement
+is decided; the same calls that fire in protocol code are clean here.
+The package is also inside the determinism scope, so this fixture must
+stay free of clocks and ambient randomness.
+"""
+
+from repro.sharding import HashRing, Router, build_router
+
+
+def ring_for(groups):
+    return HashRing(groups, vnodes=8)
+
+
+def router_for(spec):
+    router = build_router(spec)
+    if router is None:
+        router = Router(spec)
+    return router
+
+
+def placement(router, service, client):
+    return router.group_for_service(service), router.home_group_for(client)

@@ -40,6 +40,7 @@ def reported_findings(path: Path) -> set[tuple[str, int]]:
 BAD_FIXTURES = [
     FIXTURES / "repro" / "clbft" / "bad_determinism.py",
     FIXTURES / "repro" / "perpetual" / "bad_wire.py",
+    FIXTURES / "repro" / "perpetual" / "bad_sharding.py",
     FIXTURES / "locks_bad" / "repro" / "runtime" / "cluster.py",
 ]
 
@@ -54,7 +55,8 @@ def test_bad_fixture_reports_exactly_the_marked_violations(path):
 def test_every_rule_family_has_a_positive_case():
     rules_hit = {rule for p in BAD_FIXTURES for rule, _ in expected_findings(p)}
     for family_rule in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                        "WIRE001", "WIRE002", "WIRE003", "LOCK001"):
+                        "WIRE001", "WIRE002", "WIRE003", "LOCK001",
+                        "SHARD001"):
         assert family_rule in rules_hit
 
 
@@ -65,6 +67,7 @@ GOOD_FIXTURES = [
     FIXTURES / "repro" / "sim" / "rng.py",
     FIXTURES / "repro" / "perpetual" / "good_wire.py",
     FIXTURES / "repro" / "transport" / "channel.py",
+    FIXTURES / "repro" / "sharding" / "router.py",
     FIXTURES / "locks_good" / "repro" / "runtime" / "cluster.py",
 ]
 
@@ -85,9 +88,13 @@ def test_unparseable_file_reports_parse_rule():
 
 def test_check_paths_aggregates_and_counts_files():
     findings, files_checked = check_paths([str(FIXTURES / "repro")])
-    # Everything under fixtures/repro: the two bad files' markers, and
+    # Everything under fixtures/repro: the bad files' markers, and
     # nothing from the good files.
-    expected = expected_findings(BAD_FIXTURES[0]) | expected_findings(BAD_FIXTURES[1])
+    expected = (
+        expected_findings(BAD_FIXTURES[0])
+        | expected_findings(BAD_FIXTURES[1])
+        | expected_findings(BAD_FIXTURES[2])
+    )
     assert {(v.rule, v.line) for v in findings} == expected
     assert files_checked == len(list((FIXTURES / "repro").rglob("*.py")))
 

@@ -1,0 +1,101 @@
+"""Unit: the consistent-hash ring and the router tier.
+
+The router is pure state derived from a validated spec — SHA-256 ring
+arithmetic only — so two builds from the same document must agree point
+for point (worker processes rebuild it from spec JSON).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.scenario.presets import echo_parity_scenario
+from repro.scenario.spec import ScenarioBuilder, ScenarioSpec
+from repro.sharding import HashRing, Router, build_router
+
+KEYS = [f"client{i}" for i in range(200)]
+
+
+def sharded_spec(policy="service_name", top_level=False):
+    builder = ScenarioBuilder("router-spec").routing(policy)
+    builder.service("g0-svc", n=4, app="echo", group="g0")
+    builder.service("g1-svc", n=4, app="echo", group="g1")
+    if top_level:
+        builder.service("client", n=4, app="sync_caller",
+                        target="g0-svc", total_calls=1)
+    return builder.build()
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        a = HashRing(("g0", "g1", "g2"))
+        b = HashRing(("g0", "g1", "g2"))
+        assert [a.assign(k) for k in KEYS] == [b.assign(k) for k in KEYS]
+
+    def test_assignment_is_reasonably_balanced(self):
+        ring = HashRing(("g0", "g1", "g2"))
+        counts = {"g0": 0, "g1": 0, "g2": 0}
+        for key in KEYS:
+            counts[ring.assign(key)] += 1
+        # 64 vnodes per group: every group owns a healthy share of 200
+        # keys (expected ~1/3 each; 10% is a loose structural floor).
+        for group, count in counts.items():
+            assert count >= len(KEYS) * 0.10, (group, counts)
+
+    def test_adding_a_group_remaps_only_its_arcs(self):
+        before = HashRing(("g0", "g1"))
+        after = HashRing(("g0", "g1", "g2"))
+        unchanged = sum(
+            1 for k in KEYS if before.assign(k) == after.assign(k)
+        )
+        # Consistent hashing's point: most keys keep their owner
+        # (expected ~2/3 when a third group joins).
+        assert unchanged >= len(KEYS) * 0.5
+
+    def test_empty_ring_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one group"):
+            HashRing(())
+
+
+class TestRouter:
+    def test_group_services_are_pinned_under_both_policies(self):
+        for policy in ("service_name", "consistent_hash"):
+            router = Router(sharded_spec(policy))
+            assert router.policy == policy
+            assert router.group_for_service("g0-svc") == "g0"
+            assert router.group_for_service("g1-svc") == "g1"
+
+    def test_top_level_clients_are_ring_assigned(self):
+        spec = sharded_spec("consistent_hash", top_level=True)
+        router = Router(spec)
+        home = router.home_group_for("client")
+        assert home in ("g0", "g1")
+        # The name is the ring key: the raw ring agrees with the router.
+        assert home == HashRing(("g0", "g1")).assign("client")
+
+    def test_rebuild_from_json_is_identical(self):
+        spec = sharded_spec("consistent_hash", top_level=True)
+        restored = ScenarioSpec.from_json(spec.to_json())
+        a, b = Router(spec), Router(restored)
+        for service in ("g0-svc", "g1-svc", "client"):
+            assert a.group_for_service(service) == b.group_for_service(service)
+
+    def test_forward_flags_group_crossings(self):
+        router = Router(sharded_spec())
+        local = router.forward("g0", "g0-svc")
+        assert local.target_group == "g0" and not local.cross_group
+        crossing = router.forward("g0", "g1-svc")
+        assert crossing.target_group == "g1" and crossing.cross_group
+        # A caller with no home group (classic client) never "crosses".
+        assert not router.forward(None, "g1-svc").cross_group
+
+    def test_unknown_service_is_an_error(self):
+        router = Router(sharded_spec())
+        with pytest.raises(ConfigurationError, match="knows no service"):
+            router.group_for_service("nope")
+
+    def test_build_router_is_none_for_classic_specs(self):
+        assert build_router(echo_parity_scenario()) is None
+
+    def test_router_requires_groups(self):
+        with pytest.raises(ConfigurationError, match="declares no groups"):
+            Router(echo_parity_scenario())
