@@ -1,11 +1,13 @@
 """Determinism rules: protocol and simulator code must replay bit-identically.
 
 Scope: the modules whose behaviour the sim substrate's parity tests pin
-(``sim/``, ``clbft/``, ``perpetual/``, ``ws/``, ``faults/``, and
-``scenario/sim.py``). On this code, wall-clock reads, ambient
-randomness, unordered iteration that reaches the wire, and
-identity-keyed match state are exactly the constructs that break
-same-seed replay — each gets its own rule so suppressions stay precise.
+(``sim/``, ``clbft/``, ``perpetual/``, ``ws/``, ``faults/``,
+``scenario/sim.py``, ``sharding/``, and the asyncio substrate
+``runtime/aio.py``). On this code, wall-clock reads, ambient
+randomness, unordered iteration that reaches the wire, identity-keyed
+match state, and bare asyncio sleeps/loop-clock reads are exactly the
+constructs that break same-seed replay — each gets its own rule so
+suppressions stay precise.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ DETERMINISM_SCOPE = (
     "faults/",
     "scenario/sim.py",
     "sharding/",
+    "runtime/aio.py",
 )
 
 #: The one module allowed to touch the ``random`` module: the seeded
@@ -239,4 +242,44 @@ class NaiveDatetimeRule(DeterminismRule):
                     node,
                     f"{origin}() — construct as epoch + "
                     "datetime.timedelta(milliseconds=...) instead",
+                )
+
+
+#: Event-loop clock access and untracked suspensions, by dotted origin.
+#: ``get_event_loop``/``get_running_loop`` are the gateways to
+#: ``loop.time()`` (a host monotonic clock) and ``loop.call_later`` used
+#: outside the timer table, so the rule flags the loop handle itself.
+_ASYNC_CLOCK_CALLS = {
+    "asyncio.sleep",
+    "asyncio.get_event_loop",
+    "asyncio.get_running_loop",
+}
+
+
+@register
+class AsyncioClockRule(DeterminismRule):
+    id = "DET006"
+    title = "no bare asyncio sleeps or loop-clock reads in protocol code"
+    rationale = (
+        "asyncio.sleep suspends against the host event-loop clock and "
+        "get_event_loop()/get_running_loop() hand out loop.time() and "
+        "raw call_later — all invisible to the timer-hook seam, so "
+        "timeouts stop replaying and never fire under the sim. Protocol "
+        "code must arm timers through env.set_timer/cancel_timer and "
+        "read env.now_us(); only the substrate boundary that *implements* "
+        "that seam may touch the loop (documented allow() suppression)."
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        imports = ImportMap(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.qualify(node.func)
+            if origin in _ASYNC_CLOCK_CALLS:
+                yield src.violation(
+                    self,
+                    node,
+                    f"{origin}() — arm timers via env.set_timer and read "
+                    "env.now_us() instead of the event-loop clock",
                 )

@@ -309,9 +309,13 @@ def clear_wire_caches() -> None:
     is keyed on object identity, so entries must never cross a process
     boundary. A worker forked while the parent's caches were warm would
     otherwise serve lookups against the parent's object graph —
-    :mod:`repro.scenario.process` calls this first thing in every worker
-    bootstrap, and any other multi-process host must do the same.
+    :mod:`repro.scenario.process` calls this in every worker bootstrap
+    (after zeroing METRICS, before touching any frame), and any other
+    multi-process host must do the same. The counter bump below is what
+    lets tests assert that contract per worker, via the summed stats,
+    instead of monkeypatching bootstrap internals.
     """
+    METRICS.wire_cache_clears += 1
     _blob_cache.clear()
     for memo in _MEMO_REGISTRY:
         memo.clear()

@@ -24,6 +24,8 @@ examples (one per figure, plus the scenario runner):
          python -m repro.experiments run --preset tpcw-small --runtime sim
          python -m repro.experiments run --preset two-tier --dump > t.json
          python -m repro.experiments run --scenario t.json --runtime threaded
+         python -m repro.experiments run --preset echo-parity --runtime asyncio
+         python -m repro.experiments run --preset sharded-echo --runtime process --transport tcp
 
 sharded presets (multi-group: consistent-hash or service_name routing;
 each group is an independent BFT worker set — see docs/scenarios.md):
@@ -127,9 +129,17 @@ def _run(args) -> None:
         print(spec.to_json(indent=2))
         return
 
+    runtime = args.runtime
+    if getattr(args, "transport", "pipe") != "pipe":
+        if args.runtime != "process":
+            raise SystemExit("run: --transport applies only to "
+                             "--runtime process")
+        from repro.scenario.process import ProcessRuntime
+
+        runtime = ProcessRuntime(transport=args.transport)
     print(f"scenario {spec.name!r} on runtime {args.runtime!r} ...",
           file=sys.stderr)
-    metrics = run_scenario(spec, runtime=args.runtime)
+    metrics = run_scenario(spec, runtime=runtime)
     print(f"scenario={metrics.scenario} runtime={metrics.runtime} "
           f"processes={metrics.processes} now_us={metrics.now_us}")
     for name, svc in sorted(metrics.services.items()):
@@ -177,15 +187,20 @@ def main(argv: list[str] | None = None) -> int:
                        default=[7, 21, 42], help="RBE counts (fig6)")
 
     run_parser = sub.add_parser(
-        "run", help="run a ScenarioSpec on sim, threaded, or process"
+        "run", help="run a ScenarioSpec on sim, threaded, process, or asyncio"
     )
     run_parser.add_argument("--scenario", metavar="FILE",
                             help="scenario JSON document to execute")
     run_parser.add_argument("--preset",
                             help="named preset scenario (see epilog)")
     run_parser.add_argument("--runtime", default="sim",
-                            choices=("sim", "threaded", "process"),
+                            choices=("sim", "threaded", "process", "asyncio"),
                             help="substrate to execute on (default: sim)")
+    run_parser.add_argument("--transport", default="pipe",
+                            choices=("pipe", "tcp"),
+                            help="process-substrate worker rendezvous: "
+                            "duplex pipes or localhost TCP sockets "
+                            "(default: pipe)")
     run_parser.add_argument("--duration", type=float, default=None,
                             help="override the scenario's run budget")
     run_parser.add_argument("--dump", action="store_true",

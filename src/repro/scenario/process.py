@@ -20,11 +20,22 @@ Wiring:
   rather than a full decode per hop; control frames (``ready`` / ``go``
   / ``poll`` / ``stats`` / ``stop`` / ``bye``) are small canonical-codec
   tuples;
-- each worker bootstrap calls
-  :func:`repro.common.encoding.clear_wire_caches` **first**: the decode
-  memos and blob caches are keyed on object identity and must never
-  cross a process boundary (under the default ``fork`` start method the
-  parent's caches arrive in the child's memory otherwise);
+- each worker bootstrap zeroes METRICS and then calls
+  :func:`repro.common.encoding.clear_wire_caches` before touching any
+  frame: the decode memos and blob caches are keyed on object identity
+  and must never cross a process boundary (under the default ``fork``
+  start method the parent's caches arrive in the child's memory
+  otherwise). The clear bumps the ``wire_cache_clears`` counter, so the
+  summed worker stats prove every start path ran the hook;
+- the ``transport`` knob selects how workers rendezvous with the
+  parent: ``"pipe"`` (the default — one duplex ``multiprocessing`` pipe
+  per worker) or ``"tcp"``, where the parent listens on an ephemeral
+  localhost port and every worker dials back and speaks the same frames
+  through the length-prefixed :class:`~repro.transport.socket_frame
+  .SocketConnection`. The router, egress writer, and worker loop are
+  byte-for-byte shared between the two — tcp is the off-box stepping
+  stone (swap ``127.0.0.1`` for real host addresses and the same
+  scenarios run across machines);
 - ``crash`` faults are expressed by never spawning the replica's worker:
   a crashed machine never speaks; ``byzantine``, ``delay``,
   ``partition``, and ``restart`` faults travel inside the spec JSON and
@@ -43,6 +54,7 @@ import heapq
 import multiprocessing
 import os
 import queue
+import socket
 import threading
 import time
 from collections import deque
@@ -59,6 +71,7 @@ from repro.scenario.runtime import (
 )
 from repro.scenario.spec import ScenarioSpec
 from repro.sharding import build_router
+from repro.transport.socket_frame import FrameError, SocketConnection
 from repro.transport.wire import (
     BatchEnvelope,
     WireEnvelope,
@@ -249,7 +262,7 @@ class _WorkerHost:
                     frames.append(self.conn.recv_bytes())
                     if not self.conn.poll(0):
                         break
-            except (EOFError, OSError):
+            except (EOFError, OSError, FrameError):
                 return
             for data in frames:
                 if data.startswith(_NET):
@@ -279,17 +292,33 @@ class _WorkerHost:
             self._deliver_local()
 
 
-def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> None:
+def _worker_main(
+    spec_json: str,
+    service: str,
+    index: int,
+    conn: Connection | None,
+    address: tuple[str, int] | None = None,
+) -> None:
     """Bootstrap one voter/driver pair and serve its event loop.
 
-    The first action is :func:`clear_wire_caches` — the documented
-    process-start hook. Identity-keyed decode memos and blob caches
-    inherited over ``fork`` reference the parent's object graph and must
-    never serve lookups in the child.
+    On the tcp transport ``conn`` is ``None`` and the worker dials
+    ``address`` back to the parent's listener; the framed socket then
+    speaks the exact pipe protocol. Bootstrap order matters: zero the
+    fork-inherited METRICS first, then run :func:`clear_wire_caches` —
+    the documented process-start hook — before touching any frame.
+    Identity-keyed decode memos and blob caches inherited over ``fork``
+    reference the parent's object graph and must never serve lookups in
+    the child; clearing after the reset lets the hook's
+    ``wire_cache_clears`` bump survive into this worker's stats frames,
+    which is how tests pin the hook onto every start path.
     """
+    from repro.common.metrics import METRICS
+
+    # Forked counters arrive pre-incremented from the parent; zero them
+    # so this worker's stats frames report only its own activity.
+    METRICS.reset()
     clear_wire_caches()
 
-    from repro.common.metrics import METRICS
     from repro.crypto.keys import KeyStore
     from repro.faults import FaultPlan
     from repro.perpetual.group import Topology, build_replica
@@ -297,9 +326,8 @@ def _worker_main(spec_json: str, service: str, index: int, conn: Connection) -> 
     from repro.scenario.apps import build_app, scenario_cost_model
     from repro.ws.adapter import WsAdapter, collecting_executor_factory
 
-    # Forked counters arrive pre-incremented from the parent; zero them
-    # so this worker's stats frames report only its own activity.
-    METRICS.reset()
+    if conn is None:
+        conn = SocketConnection(socket.create_connection(address))
 
     spec = ScenarioSpec.from_json(spec_json)
     decl = spec.service(service)
@@ -377,12 +405,28 @@ class ProcessRuntime(Runtime):
 
     name = "process"
 
-    def __init__(self, poll_interval_s: float = POLL_INTERVAL_S) -> None:
+    def __init__(
+        self,
+        poll_interval_s: float = POLL_INTERVAL_S,
+        transport: str = "pipe",
+    ) -> None:
+        if transport not in ("pipe", "tcp"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r} (known: pipe, tcp)"
+            )
+        self.transport = transport
         self._poll_interval_s = poll_interval_s
         self._spec: ScenarioSpec | None = None
         self._procs: dict[tuple[str, int], multiprocessing.Process] = {}
         self._conns: dict[tuple[str, int], Connection] = {}
         self._alive: dict[Connection, tuple[str, int]] = {}
+        #: Workers that were spawned and must report ready. On the pipe
+        #: transport this mirrors ``self._conns`` (registered at spawn);
+        #: on tcp, connections only appear when workers dial back, so
+        #: readiness is tracked against the spawn set.
+        self._expected: set[tuple[str, int]] = set()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
         self._stats: dict[tuple[str, int], dict] = {}
         self._stats_seq: dict[tuple[str, int], int] = {}
         self._byes: set[tuple[str, int]] = set()
@@ -439,6 +483,15 @@ class ProcessRuntime(Runtime):
         self._egress_thread = threading.Thread(target=self._drain_egress, daemon=True)
         self._router_thread.start()
         self._egress_thread.start()
+        if self.transport == "tcp":
+            # Ephemeral localhost rendezvous: workers dial back and their
+            # first frame (ready) identifies them to the acceptor.
+            self._listener = socket.create_server(("127.0.0.1", 0))
+            self._listener.settimeout(0.2)
+            self._accept_thread = threading.Thread(
+                target=self._accept, daemon=True
+            )
+            self._accept_thread.start()
         try:
             for decl in spec.all_services():
                 for index in range(decl.n):
@@ -449,11 +502,11 @@ class ProcessRuntime(Runtime):
             deadline = time.monotonic() + READY_TIMEOUT_S
             while time.monotonic() < deadline:
                 with self._lock:
-                    if self._ready == set(self._conns):
+                    if self._ready == self._expected:
                         break
                 time.sleep(0.01)
             else:
-                missing = sorted(set(self._conns) - self._ready)
+                missing = sorted(self._expected - self._ready)
                 raise ConfigurationError(
                     f"workers never became ready: {missing}"
                 )
@@ -467,7 +520,26 @@ class ProcessRuntime(Runtime):
     def _start_worker(
         self, ctx, spec_json: str, service: str, index: int
     ) -> None:
-        """Spawn one replica's worker process and register its pipe."""
+        """Spawn one replica's worker process and register its channel.
+
+        Pipe transport: the duplex pipe exists before the child does, so
+        the connection registers here. Tcp transport: the worker gets the
+        listener's address and the acceptor thread registers the
+        connection when the worker dials back with its ready frame.
+        """
+        if self.transport == "tcp":
+            address = self._listener.getsockname()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(spec_json, service, index, None, address),
+                daemon=True,
+                name=f"repro-{service}-{index}",
+            )
+            proc.start()
+            with self._lock:
+                self._procs[(service, index)] = proc
+                self._expected.add((service, index))
+            return
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=_worker_main,
@@ -484,6 +556,39 @@ class ProcessRuntime(Runtime):
             self._procs[(service, index)] = proc
             self._conns[(service, index)] = parent_conn
             self._alive[parent_conn] = (service, index)
+            self._expected.add((service, index))
+
+    def _accept(self) -> None:
+        """Tcp transport only: register dial-back workers as they arrive.
+
+        The worker's first frame is its ready tuple — reading it here
+        (before the connection joins the router's alive set) doubles as
+        the identification handshake, so the router never has to treat a
+        half-known connection.
+        """
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            sock.settimeout(READY_TIMEOUT_S)
+            conn = SocketConnection(sock)
+            try:
+                hello = decode_payload(conn.recv_bytes())
+            except (EOFError, OSError, TimeoutError, FrameError):
+                conn.close()
+                continue
+            if hello[0] != "ready":
+                conn.close()
+                continue
+            sock.settimeout(None)
+            key = (hello[1], hello[2])
+            with self._lock:
+                self._conns[key] = conn
+                self._alive[conn] = key
+                self._ready.add(key)
 
     def worker_pids(self) -> list[int]:
         """PIDs of the worker processes (one per live voter/driver pair)."""
@@ -507,32 +612,42 @@ class ProcessRuntime(Runtime):
                 continue
             for conn in connection_wait(conns, timeout=0.1):
                 key = self._alive.get(conn)
-                try:
-                    data = conn.recv_bytes()
-                except (EOFError, OSError):
-                    with self._lock:
-                        self._alive.pop(conn, None)
-                    continue
-                if data.startswith(_NET):
-                    # O(header) routing: the envelope bytes stay opaque.
-                    _, dst, _ = _split_net_frame(data)
-                    owner = self._owner(dst)
-                    if owner in self._conns and owner not in self._byes:
-                        self._egress.put((owner, data))
-                    continue
-                frame = decode_payload(data)
-                kind = frame[0]
-                if kind == "stats":
-                    with self._lock:
-                        self._stats[key] = frame[1]
-                        self._stats_seq[key] = self._stats_seq.get(key, 0) + 1
-                elif kind == "ready":
-                    with self._lock:
-                        self._ready.add((frame[1], frame[2]))
-                elif kind == "bye":
-                    with self._lock:
-                        self._byes.add(key)
-                        self._alive.pop(conn, None)
+                # Drain every frame this wakeup made available: a framed
+                # socket read may decode several frames from one chunk,
+                # after which the fd is no longer readable — frames left
+                # in the decoder would otherwise never wake the selector.
+                while True:
+                    try:
+                        data = conn.recv_bytes()
+                    except (EOFError, OSError, FrameError):
+                        with self._lock:
+                            self._alive.pop(conn, None)
+                        break
+                    if data.startswith(_NET):
+                        # O(header) routing: the envelope bytes stay opaque.
+                        _, dst, _ = _split_net_frame(data)
+                        owner = self._owner(dst)
+                        if owner in self._conns and owner not in self._byes:
+                            self._egress.put((owner, data))
+                    else:
+                        frame = decode_payload(data)
+                        kind = frame[0]
+                        if kind == "stats":
+                            with self._lock:
+                                self._stats[key] = frame[1]
+                                self._stats_seq[key] = (
+                                    self._stats_seq.get(key, 0) + 1
+                                )
+                        elif kind == "ready":
+                            with self._lock:
+                                self._ready.add((frame[1], frame[2]))
+                        elif kind == "bye":
+                            with self._lock:
+                                self._byes.add(key)
+                                self._alive.pop(conn, None)
+                            break
+                    if not conn.poll(0):
+                        break
 
     def _drain_egress(self) -> None:
         """Single writer for every worker pipe (see module docstring)."""
@@ -718,6 +833,15 @@ class ProcessRuntime(Runtime):
             self._router_thread.join(timeout=2.0)
         if self._egress_thread is not None:
             self._egress_thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
         for conn in self._conns.values():
             try:
                 conn.close()

@@ -11,13 +11,14 @@ A :class:`Runtime` executes a :class:`~repro.scenario.spec.ScenarioSpec`:
   protocol counters plus application probe output;
 - ``shutdown()``    — release threads/processes (idempotent).
 
-Three implementations ship: :class:`repro.scenario.sim.SimRuntime`
+Four implementations ship: :class:`repro.scenario.sim.SimRuntime`
 (deterministic discrete-event kernel), :class:`repro.scenario.threaded
-.ThreadedRuntime` (one OS thread per node), and
-:class:`repro.scenario.process.ProcessRuntime` (one OS process per
-voter/driver pair, fused-codec envelopes over pipes). ``run_scenario`` is
-the one-call entry point the figure generators, the TPC-W harness, and
-the CLI all share.
+.ThreadedRuntime` (one OS thread per node), :class:`repro.scenario
+.process.ProcessRuntime` (one OS process per voter/driver pair,
+fused-codec envelopes over pipes or localhost TCP sockets), and
+:class:`repro.scenario.aio.AsyncioRuntime` (every node a task on one
+asyncio event loop). ``run_scenario`` is the one-call entry point the
+figure generators, the TPC-W harness, and the CLI all share.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import ConfigurationError
 from repro.scenario.spec import ScenarioSpec
 
-RUNTIME_NAMES = ("sim", "threaded", "process")
+RUNTIME_NAMES = ("sim", "threaded", "process", "asyncio")
 
 
 def observer_index(spec: ScenarioSpec, service: str) -> int:
@@ -133,7 +134,7 @@ class Runtime:
 
 
 def get_runtime(name: str) -> Runtime:
-    """Construct a runtime by name: ``sim``, ``threaded``, or ``process``."""
+    """Construct a runtime by name: one of :data:`RUNTIME_NAMES`."""
     if name == "sim":
         from repro.scenario.sim import SimRuntime
 
@@ -146,6 +147,10 @@ def get_runtime(name: str) -> Runtime:
         from repro.scenario.process import ProcessRuntime
 
         return ProcessRuntime()
+    if name == "asyncio":
+        from repro.scenario.aio import AsyncioRuntime
+
+        return AsyncioRuntime()
     raise ConfigurationError(
         f"unknown runtime {name!r} (known: {', '.join(RUNTIME_NAMES)})"
     )

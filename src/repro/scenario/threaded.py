@@ -68,6 +68,11 @@ class ThreadedRuntime(Runtime):
             service, built.factory, self._adapters[service]
         )
 
+    def _make_cluster(self):
+        """Substrate hook: AsyncioRuntime deploys the same way onto an
+        AioCluster (same add_node/drop_node/timers surface)."""
+        return ThreadedCluster(debug_locks=self.debug_locks)
+
     def deploy(self, spec: ScenarioSpec) -> "ThreadedRuntime":
         spec.validate()
         require_supported_kinds(spec, ("link",), self.name)
@@ -79,7 +84,7 @@ class ThreadedRuntime(Runtime):
         router = build_router(spec)
         # Cold wire caches per deployment, as on every substrate.
         clear_wire_caches()
-        cluster = ThreadedCluster(debug_locks=self.debug_locks)
+        cluster = self._make_cluster()
         topology = Topology()
         for decl in spec.all_services():
             topology.add(decl.name, decl.n)

@@ -1,0 +1,144 @@
+"""Substrate conformance suite: one scenario matrix, every runtime.
+
+Any runtime registered in :data:`repro.scenario.runtime.RUNTIME_NAMES`
+must complete the same four workloads with the same observable outcome.
+Before this suite existed, the parity assertions were copy-pasted per
+substrate across ``test_scenario_runtimes.py`` / ``test_fault_parity.py``
+/ ``test_sharded_runtimes.py`` — every new substrate meant editing all
+of them. Now a substrate joins the matrix by joining ``RUNTIME_NAMES``
+(asyncio joined on day one), and ``test_conformance.py`` parametrizes
+the whole matrix with one ``@pytest.mark.parametrize("runtime", ...)``.
+
+The four cases, each the acceptance bar of the PR that introduced its
+capability:
+
+- **echo** — plain 4-replica echo parity (identical completed/aborted/
+  served counts);
+- **chaos-slow-drip** — a byzantine-mute primary forces >= 1 CLBFT view
+  change and the workload still completes (fault hooks + liveness);
+- **batching-window-4** — tick batching on the window-4 async two-tier
+  workload genuinely aggregates (flush hooks: fewer envelopes, each
+  batch amortising one MAC vector over several messages);
+- **sharded-echo** — a group-closed 2-group scenario with per-group
+  metric labels and routed-request counters (router injection).
+
+``run_on`` is the shared runner: deploy, run, observe, tear down on any
+named runtime, asserting the substrate's own error channel is clean
+(threaded/asyncio handler errors, process worker errors).
+"""
+
+from repro.scenario.presets import (
+    chaos_slow_drip,
+    echo_parity_scenario,
+    sharded_echo_scenario,
+    two_tier_scenario,
+)
+from repro.scenario.runtime import RUNTIME_NAMES, Runtime, get_runtime
+
+#: The full substrate matrix. New runtimes join automatically.
+RUNTIMES = tuple(RUNTIME_NAMES)
+
+ECHO_CALLS = 6
+DRIP_CALLS = 4
+WINDOW_CALLS = 8
+SHARDED_CALLS = 4
+
+
+def run_on(runtime, spec, until_s: float = 90):
+    """Run ``spec`` on a runtime (name or instance); return its metrics.
+
+    Asserts the substrate-specific error channels are empty — a scenario
+    that "completes" by swallowing handler exceptions is not conformant.
+    """
+    rt = get_runtime(runtime) if not isinstance(runtime, Runtime) else runtime
+    rt.deploy(spec)
+    try:
+        rt.run(until_s=until_s)
+        metrics = rt.metrics()
+        if hasattr(rt, "errors"):
+            assert rt.errors() == []
+        if hasattr(rt, "worker_errors"):
+            assert rt.worker_errors() == {}
+        return metrics
+    finally:
+        rt.shutdown()
+
+
+# -- the four cases ---------------------------------------------------------
+
+
+def check_echo(runtime) -> None:
+    spec = echo_parity_scenario(
+        n=4, total_calls=ECHO_CALLS, name=f"conf-echo-{runtime}"
+    )
+    metrics = run_on(runtime, spec)
+    assert metrics.scenario == spec.name
+    assert metrics.services["caller"].completed_calls == ECHO_CALLS
+    assert metrics.services["caller"].aborted_calls == 0
+    assert metrics.services["target"].requests_served == ECHO_CALLS
+
+
+def check_chaos_slow_drip(runtime) -> None:
+    spec = chaos_slow_drip(
+        total_calls=DRIP_CALLS, name=f"conf-drip-{runtime}"
+    )
+    metrics = run_on(runtime, spec, until_s=120)
+    assert metrics.services["caller"].completed_calls == DRIP_CALLS
+    assert metrics.services["caller"].aborted_calls == 0
+    # The muted primary stalled view 0; progress proves the view change.
+    assert metrics.services["target"].view_changes >= 1
+    assert metrics.counters["view_changes"] >= 1
+    assert metrics.counters["faults_injected"] >= 1
+
+
+def check_batching_window_4(runtime) -> None:
+    spec = two_tier_scenario(
+        n_calling=2,
+        n_target=4,
+        total_calls=WINDOW_CALLS,
+        window=4,
+        name=f"conf-batch-{runtime}",
+    ).with_(batching="tick")
+    metrics = run_on(runtime, spec)
+    assert metrics.services["caller"].completed_calls == WINDOW_CALLS
+    assert metrics.services["caller"].aborted_calls == 0
+    # Genuine aggregation through the substrate's flush hook: batches on
+    # the wire, each amortising its single MAC vector over >1 message.
+    assert metrics.counters["batches_sent"] > 0
+    assert metrics.counters["batch_messages"] > metrics.counters["batches_sent"]
+
+
+def assert_sharded_echo_shape(metrics, total_calls: int = SHARDED_CALLS):
+    """The sharding tentpole's observable shape, substrate-independent."""
+    for group in ("g0", "g1"):
+        caller = metrics.services[f"{group}-caller"]
+        assert caller.completed_calls == total_calls
+        assert caller.aborted_calls == 0
+        assert caller.group == group
+        assert metrics.services[f"{group}-target"].group == group
+    per_group = metrics.by_group()
+    assert set(per_group) == {"g0", "g1"}
+    for summary in per_group.values():
+        assert summary["completed_calls"] == total_calls
+    # Every driver replica routes each issue; the preset is group-closed.
+    assert metrics.counters["requests_routed"] == 2 * 4 * total_calls
+    assert metrics.counters["cross_group_calls"] == 0
+
+
+def check_sharded_echo(runtime) -> None:
+    spec = sharded_echo_scenario(
+        group_count=2,
+        n=4,
+        total_calls=SHARDED_CALLS,
+        name=f"conf-shard-{runtime}",
+    )
+    assert_sharded_echo_shape(run_on(runtime, spec))
+
+
+#: Case name -> checker, the matrix's second axis.
+CASES = {
+    "echo": check_echo,
+    "chaos-slow-drip": check_chaos_slow_drip,
+    "batching-window-4": check_batching_window_4,
+    "sharded-echo": check_sharded_echo,
+}

@@ -8,7 +8,8 @@ Four pins from the batching tentpole:
 - ``batching="tick"`` on the windowed async workload genuinely
   aggregates (batches on the wire, fewer MAC verifications) while
   completing the identical workload;
-- the same ``batching="tick"`` spec completes on all three substrates;
+- the same ``batching="tick"`` spec completes on every substrate — that
+  parity run lives in the conformance matrix (``test_conformance.py``);
 - ``delay`` and ``byzantine`` faults keep their per-message semantics
   when the channel batches (every message inside a batch is delayed;
   equivocation rewrites individual agreement messages above the batch).
@@ -18,9 +19,8 @@ import json
 from dataclasses import asdict
 from pathlib import Path
 
-from repro.scenario.presets import echo_parity_scenario, two_tier_scenario
-from repro.scenario.process import ProcessRuntime
-from repro.scenario.runtime import get_runtime, run_scenario
+from repro.scenario.presets import two_tier_scenario
+from repro.scenario.runtime import run_scenario
 from repro.scenario.spec import ScenarioBuilder
 
 GOLDEN = json.loads(
@@ -105,39 +105,8 @@ class TestTickModeAggregates:
         assert asdict(a) == asdict(b)
 
 
-class TestThreeSubstrateParity:
-    def test_tick_echo_parity_sim_threaded(self):
-        spec = echo_parity_scenario(n=4, total_calls=6, batching="tick")
-
-        sim_metrics = run_scenario(spec, runtime="sim")
-        threaded = get_runtime("threaded")
-        threaded.deploy(spec)
-        try:
-            threaded.run(until_s=60)
-            threaded_metrics = threaded.metrics()
-            assert threaded.errors() == []
-        finally:
-            threaded.shutdown()
-
-        for metrics in (sim_metrics, threaded_metrics):
-            assert metrics.services["caller"].completed_calls == 6
-            assert metrics.services["caller"].aborted_calls == 0
-            assert metrics.services["target"].requests_served == 6
-
-    def test_tick_echo_on_process_runtime(self):
-        spec = echo_parity_scenario(
-            n=4, total_calls=4, name="echo-batch-proc", batching="tick"
-        )
-        runtime = ProcessRuntime(poll_interval_s=0.05)
-        runtime.deploy(spec)
-        try:
-            runtime.run(until_s=60)
-            metrics = runtime.metrics()
-            assert runtime.worker_errors() == {}
-        finally:
-            runtime.shutdown()
-        assert metrics.services["caller"].completed_calls == 4
-        assert metrics.services["caller"].aborted_calls == 0
+# Cross-substrate tick-batching parity moved to the conformance matrix
+# (tests/integration/test_conformance.py, case "batching-window-4").
 
 
 class TestFaultsApplyPerMessageInsideBatches:

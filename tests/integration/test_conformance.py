@@ -1,0 +1,16 @@
+"""The substrate conformance matrix: every case x every runtime.
+
+See :mod:`tests.integration.conformance` for the cases. A runtime that
+registers in ``RUNTIME_NAMES`` is pulled into this matrix automatically
+— there is no per-substrate test to write.
+"""
+
+import pytest
+
+from tests.integration.conformance import CASES, RUNTIMES
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("case", CASES, ids=str)
+def test_conformance(case, runtime):
+    CASES[case](runtime)

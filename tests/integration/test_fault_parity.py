@@ -1,18 +1,24 @@
 """Integration: fault injection behaves the same on every substrate.
 
 Crash, byzantine, and delay faults are enforced uniformly: the simulator
-scripts them in-process, the threaded runtime wires the same FaultPlan
-into its live nodes, and the process runtime rebuilds the plan inside
-each worker from the spec JSON in its spawn payload. Sim-only ``link``
-faults are rejected up front by the live substrates.
+scripts them in-process, the threaded and asyncio runtimes wire the same
+FaultPlan into their live nodes, and the process runtime rebuilds the
+plan inside each worker from the spec JSON in its spawn payload. The
+cross-substrate runs all go through the conformance runner
+(:func:`tests.integration.conformance.run_on` — one parametrized matrix
+instead of per-substrate copies); sim-only ``link`` faults are rejected
+up front by every live substrate. The mute-primary liveness case
+(chaos-slow-drip) lives in the conformance matrix itself.
 """
 
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.scenario.process import ProcessRuntime
-from repro.scenario.runtime import get_runtime, run_scenario
+from repro.scenario.runtime import RUNTIME_NAMES, get_runtime
 from repro.scenario.spec import ScenarioBuilder
+from tests.integration.conformance import run_on
+
+LIVE_RUNTIMES = tuple(n for n in RUNTIME_NAMES if n != "sim")
 
 
 def chaos_spec(name, total_calls=4):
@@ -25,43 +31,14 @@ def chaos_spec(name, total_calls=4):
     )
 
 
-def run_threaded(spec, until_s=90):
-    runtime = get_runtime("threaded")
-    runtime.deploy(spec)
-    try:
-        runtime.run(until_s=until_s)
-        metrics = runtime.metrics()
-        assert runtime.errors() == []
-        return metrics
-    finally:
-        runtime.shutdown()
-
-
-def run_process(spec, until_s=120):
-    runtime = ProcessRuntime()
-    runtime.deploy(spec)
-    try:
-        runtime.run(until_s=until_s)
-        metrics = runtime.metrics()
-        assert runtime.worker_errors() == {}
-        return metrics
-    finally:
-        runtime.shutdown()
-
-
-def test_crash_faulted_echo_parity_across_substrates():
-    # One spec object, one crashed replica, three substrates: the
+@pytest.mark.parametrize("runtime", RUNTIME_NAMES)
+def test_crash_faulted_echo_parity_across_substrates(runtime):
+    # One spec shape, one crashed replica, every substrate: the
     # surviving quorum completes the identical workload everywhere.
-    spec = chaos_spec("crash-parity").crash("target", 2).build()
-
-    results = {
-        "sim": run_scenario(spec, runtime="sim"),
-        "threaded": run_threaded(spec),
-        "process": run_process(spec),
-    }
-    for metrics in results.values():
-        assert metrics.services["caller"].completed_calls == 4
-        assert metrics.services["caller"].aborted_calls == 0
+    spec = chaos_spec(f"crash-parity-{runtime}").crash("target", 2).build()
+    metrics = run_on(runtime, spec, until_s=120)
+    assert metrics.services["caller"].completed_calls == 4
+    assert metrics.services["caller"].aborted_calls == 0
 
 
 def test_corrupt_replica_enforced_on_threaded_runtime():
@@ -70,7 +47,7 @@ def test_corrupt_replica_enforced_on_threaded_runtime():
         .byzantine("target", 1, mode="corrupt")
         .build()
     )
-    metrics = run_threaded(spec)
+    metrics = run_on("threaded", spec)
     assert metrics.services["caller"].completed_calls == 4
     assert metrics.services["caller"].aborted_calls == 0
     assert metrics.counters["faults_injected"] >= 1
@@ -85,27 +62,22 @@ def test_corrupt_and_delay_enforced_on_process_runtime():
         .delay("target", 3, delay_us=1_000)
         .build()
     )
-    metrics = run_process(spec)
+    metrics = run_on("process", spec, until_s=120)
     assert metrics.services["caller"].completed_calls == 4
     assert metrics.services["caller"].aborted_calls == 0
     assert metrics.counters["faults_injected"] >= 1
 
 
-def test_link_faults_rejected_by_live_substrates():
+@pytest.mark.parametrize("runtime", LIVE_RUNTIMES)
+def test_link_faults_rejected_by_live_substrates(runtime):
     spec = (
-        chaos_spec("link-rejected")
+        chaos_spec(f"link-rejected-{runtime}")
         .link_fault("caller/d0", "*", drop=0.25)
         .build()
     )
-    threaded = get_runtime("threaded")
+    rt = get_runtime(runtime)
     try:
         with pytest.raises(ConfigurationError, match="link"):
-            threaded.deploy(spec)
+            rt.deploy(spec)
     finally:
-        threaded.shutdown()
-    process = ProcessRuntime()
-    try:
-        with pytest.raises(ConfigurationError, match="link"):
-            process.deploy(spec)
-    finally:
-        process.shutdown()
+        rt.shutdown()

@@ -1,11 +1,9 @@
-"""Integration: one ScenarioSpec, three substrates.
+"""Integration: runtime-specific behaviour of the scenario substrates.
 
-The acceptance bar of the scenario redesign: the *same* spec object runs
-to completion on the simulator, the threaded cluster, and the
-multi-process cluster through one shared code path, with identical
-workload outcomes where the substrate is deterministic enough to compare
-(completed/aborted counts) and real OS-process parallelism demonstrable
-on the process substrate.
+Cross-substrate workload parity lives in the conformance matrix
+(``test_conformance.py``); this file keeps what is *specific* to one
+runtime — sim determinism, real OS-process parallelism, crash-fault
+observer fallback, fail-fast deploy validation, and runtime selection.
 """
 
 import os
@@ -16,35 +14,6 @@ from repro.scenario.presets import echo_parity_scenario
 from repro.scenario.process import ProcessRuntime
 from repro.scenario.runtime import get_runtime, run_scenario
 from repro.scenario.spec import FaultSpec
-
-
-def test_sim_threaded_parity_on_echo_scenario():
-    # One spec object (echo app, n=4, f=1), both in-process substrates.
-    spec = echo_parity_scenario(n=4, total_calls=6)
-
-    sim_metrics = run_scenario(spec, runtime="sim")
-    threaded = get_runtime("threaded")
-    threaded.deploy(spec)
-    try:
-        threaded.run(until_s=60)
-        threaded_metrics = threaded.metrics()
-        assert threaded.errors() == []
-    finally:
-        threaded.shutdown()
-
-    for metrics in (sim_metrics, threaded_metrics):
-        assert metrics.scenario == spec.name
-        assert metrics.services["caller"].completed_calls == 6
-        assert metrics.services["caller"].aborted_calls == 0
-        assert metrics.services["target"].requests_served == 6
-    assert (
-        sim_metrics.services["caller"].completed_calls
-        == threaded_metrics.services["caller"].completed_calls
-    )
-    assert (
-        sim_metrics.services["caller"].aborted_calls
-        == threaded_metrics.services["caller"].aborted_calls
-    )
 
 
 def test_sim_runtime_is_deterministic():

@@ -1,17 +1,20 @@
-"""Integration: sharded scenarios across the three substrates.
+"""Integration: sharded-scenario behaviour beyond the conformance matrix.
 
-Pins from the sharding tentpole:
+The group-closed 2-group echo parity run (per-group labels,
+``requests_routed``/``cross_group_calls`` counters, identical outcomes
+on every substrate) is a conformance case now — see
+``test_conformance.py``. This file keeps the sharding behaviour that is
+not simple parity:
 
-- a group-closed 2-group echo scenario completes identically on sim,
-  threaded, and process, with per-group metric labels, a deterministic
-  cross-group merge, and ``requests_routed``/``cross_group_calls``
-  counters;
+- the sim's deterministic cross-group merge replays bit-identically;
 - a consistent-hash top-level client crosses a group boundary through
   the router on the live substrates (the counters prove the path), while
   the simulator — whose groups run in closed sub-kernels — rejects the
   same spec loudly instead of mis-executing it;
-- process-substrate shutdown joins the router/egress threads even when
-  a worker fails to spawn mid-deploy (no orphaned threads or children).
+- the process substrate places one OS process per voter/driver pair
+  across all groups, and its shutdown joins the router/egress threads
+  even when a worker fails to spawn mid-deploy (no orphaned threads or
+  children).
 """
 
 import multiprocessing
@@ -26,6 +29,7 @@ from repro.scenario.process import ProcessRuntime
 from repro.scenario.runtime import get_runtime, run_scenario
 from repro.scenario.spec import ScenarioBuilder
 from repro.sharding import HashRing
+from tests.integration.conformance import assert_sharded_echo_shape, run_on
 
 TOTAL_CALLS = 4
 
@@ -36,27 +40,7 @@ def two_group_echo(name):
     )
 
 
-def assert_sharded_echo_shape(metrics):
-    for group in ("g0", "g1"):
-        caller = metrics.services[f"{group}-caller"]
-        assert caller.completed_calls == TOTAL_CALLS
-        assert caller.aborted_calls == 0
-        assert caller.group == group
-        assert metrics.services[f"{group}-target"].group == group
-    per_group = metrics.by_group()
-    assert set(per_group) == {"g0", "g1"}
-    for summary in per_group.values():
-        assert summary["completed_calls"] == TOTAL_CALLS
-    # Every driver replica routes each issue; the preset is group-closed.
-    assert metrics.counters["requests_routed"] == 2 * 4 * TOTAL_CALLS
-    assert metrics.counters["cross_group_calls"] == 0
-
-
-class TestTwoGroupEchoParity:
-    def test_sim(self):
-        metrics = run_scenario(two_group_echo("sharded-echo-sim"), runtime="sim")
-        assert_sharded_echo_shape(metrics)
-
+class TestTwoGroupEcho:
     def test_sim_is_deterministic(self):
         from dataclasses import asdict
 
@@ -65,27 +49,13 @@ class TestTwoGroupEchoParity:
         b = run_scenario(spec, runtime="sim")
         assert asdict(a) == asdict(b)
 
-    def test_threaded(self):
-        runtime = get_runtime("threaded")
-        runtime.deploy(two_group_echo("sharded-echo-thr"))
-        try:
-            runtime.run(until_s=60)
-            metrics = runtime.metrics()
-            assert runtime.errors() == []
-        finally:
-            runtime.shutdown()
-        assert_sharded_echo_shape(metrics)
-
-    def test_process(self):
-        runtime = ProcessRuntime(poll_interval_s=0.05)
-        runtime.deploy(two_group_echo("sharded-echo-proc"))
-        try:
-            runtime.run(until_s=60)
-            metrics = runtime.metrics()
-            assert runtime.worker_errors() == {}
-        finally:
-            runtime.shutdown()
-        assert_sharded_echo_shape(metrics)
+    def test_process_places_one_worker_per_pair_across_groups(self):
+        metrics = run_on(
+            ProcessRuntime(poll_interval_s=0.05),
+            two_group_echo("sharded-echo-proc"),
+            until_s=60,
+        )
+        assert_sharded_echo_shape(metrics, TOTAL_CALLS)
         # One OS process per voter/driver pair across both groups.
         assert metrics.processes == 16
 

@@ -1,0 +1,108 @@
+"""Property-based tests: the length-prefixed socket framer.
+
+Invariants: a frame stream reassembles identically no matter how the
+TCP layer chunks it (byte-by-byte, random splits, coalesced writes);
+frame boundaries never leak bytes between payloads; oversized length
+prefixes and truncated streams fail loudly instead of yielding short
+or corrupt frames.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.socket_frame import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+payloads = st.lists(
+    st.binary(min_size=0, max_size=512), min_size=0, max_size=12
+)
+
+
+def chunked(data: bytes, cuts: list[int]):
+    """Split ``data`` at the (normalised) cut offsets."""
+    offsets = sorted({min(c, len(data)) for c in cuts})
+    pieces, last = [], 0
+    for offset in offsets:
+        pieces.append(data[last:offset])
+        last = offset
+    pieces.append(data[last:])
+    return pieces
+
+
+@given(frames=payloads, data=st.data())
+@settings(max_examples=200)
+def test_roundtrip_over_random_chunk_sizes(frames, data):
+    stream = b"".join(encode_frame(p) for p in frames)
+    cuts = data.draw(
+        st.lists(st.integers(min_value=0, max_value=max(len(stream), 1)),
+                 max_size=20)
+    )
+    decoder = FrameDecoder()
+    out = []
+    for piece in chunked(stream, cuts):
+        out.extend(decoder.feed(piece))
+    assert out == frames
+    assert decoder.pending == 0
+    decoder.finish()  # clean boundary: not truncated
+
+
+@given(frames=payloads)
+@settings(max_examples=50)
+def test_roundtrip_byte_by_byte(frames):
+    stream = b"".join(encode_frame(p) for p in frames)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(len(stream)):
+        out.extend(decoder.feed(stream[i:i + 1]))
+    assert out == frames
+    assert decoder.pending == 0
+
+
+@given(frames=payloads.filter(bool))
+@settings(max_examples=50)
+def test_coalesced_single_feed(frames):
+    stream = b"".join(encode_frame(p) for p in frames)
+    assert FrameDecoder().feed(stream) == frames
+
+
+def test_oversized_length_prefix_rejected_without_buffering():
+    prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    decoder = FrameDecoder()
+    with pytest.raises(FrameError, match="over the"):
+        decoder.feed(prefix)
+
+
+def test_oversized_payload_refused_at_encode_time():
+    class _HugeLen(bytes):
+        def __len__(self):
+            return MAX_FRAME_BYTES + 1
+
+    with pytest.raises(FrameError, match="exceeds"):
+        encode_frame(_HugeLen())
+
+
+@given(payload=st.binary(min_size=1, max_size=64),
+       keep=st.integers(min_value=1))
+@settings(max_examples=50)
+def test_truncated_stream_is_an_error_not_a_short_frame(payload, keep):
+    stream = encode_frame(payload)
+    # Keep 1..len-1 bytes: always mid-frame, never a clean boundary.
+    cut = 1 + keep % (len(stream) - 1)
+    decoder = FrameDecoder()
+    assert decoder.feed(stream[:cut]) == []
+    assert decoder.pending == cut
+    with pytest.raises(FrameError, match="truncated"):
+        decoder.finish()
+
+
+def test_truncated_length_prefix_is_an_error_at_eof():
+    decoder = FrameDecoder()
+    assert decoder.feed(b"\x00\x00") == []  # half a length prefix
+    with pytest.raises(FrameError, match="truncated"):
+        decoder.finish()

@@ -1,0 +1,28 @@
+"""Fixture: DET006 — bare asyncio sleeps and loop-clock reads.
+
+Parsed (never imported) by the rule-engine tests; the ``repro/clbft``
+directory shape puts it in the determinism family's scope. Protocol
+code awaiting ``asyncio.sleep`` or reading the event-loop clock
+bypasses the env timer seam, so timeouts neither replay under the sim
+nor fire at all off the asyncio substrate.
+"""
+
+import asyncio
+from asyncio import sleep
+
+
+async def drip_backoff():
+    await asyncio.sleep(0.05)  # expect: DET006
+
+
+async def from_import_sleep():
+    await sleep(0.01)  # expect: DET006
+
+
+def host_deadline_us():
+    return asyncio.get_event_loop().time() * 1e6  # expect: DET006
+
+
+async def grab_loop_for_call_later(fire):
+    loop = asyncio.get_running_loop()  # expect: DET006
+    loop.call_later(0.5, fire)

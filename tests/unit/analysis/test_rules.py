@@ -39,6 +39,7 @@ def reported_findings(path: Path) -> set[tuple[str, int]]:
 
 BAD_FIXTURES = [
     FIXTURES / "repro" / "clbft" / "bad_determinism.py",
+    FIXTURES / "repro" / "clbft" / "bad_asyncio.py",
     FIXTURES / "repro" / "perpetual" / "bad_wire.py",
     FIXTURES / "repro" / "perpetual" / "bad_sharding.py",
     FIXTURES / "locks_bad" / "repro" / "runtime" / "cluster.py",
@@ -55,7 +56,7 @@ def test_bad_fixture_reports_exactly_the_marked_violations(path):
 def test_every_rule_family_has_a_positive_case():
     rules_hit = {rule for p in BAD_FIXTURES for rule, _ in expected_findings(p)}
     for family_rule in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                        "WIRE001", "WIRE002", "WIRE003", "LOCK001",
+                        "DET006", "WIRE001", "WIRE002", "WIRE003", "LOCK001",
                         "SHARD001"):
         assert family_rule in rules_hit
 
@@ -64,6 +65,7 @@ def test_every_rule_family_has_a_positive_case():
 
 GOOD_FIXTURES = [
     FIXTURES / "repro" / "clbft" / "good_determinism.py",
+    FIXTURES / "repro" / "runtime" / "aio.py",
     FIXTURES / "repro" / "sim" / "rng.py",
     FIXTURES / "repro" / "perpetual" / "good_wire.py",
     FIXTURES / "repro" / "transport" / "channel.py",
@@ -94,6 +96,7 @@ def test_check_paths_aggregates_and_counts_files():
         expected_findings(BAD_FIXTURES[0])
         | expected_findings(BAD_FIXTURES[1])
         | expected_findings(BAD_FIXTURES[2])
+        | expected_findings(BAD_FIXTURES[3])
     )
     assert {(v.rule, v.line) for v in findings} == expected
     assert files_checked == len(list((FIXTURES / "repro").rglob("*.py")))

@@ -1,10 +1,19 @@
 #!/bin/sh
 # Pre-merge gate: static analysis clean, docs in sync, then tier-1 passes.
 # Run from the repo root:  sh tools/check.sh
+# Fast mode (analysis + docs + unit tests only, skips integration):
+#   sh tools/check.sh --fast
 set -e
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+
+FAST=0
+case "${1:-}" in
+    --fast) FAST=1 ;;
+    "") ;;
+    *) echo "usage: sh tools/check.sh [--fast]" >&2; exit 2 ;;
+esac
 
 echo "== repro.analysis (invariant linter) =="
 python -m repro.analysis src
@@ -12,7 +21,12 @@ python -m repro.analysis src
 echo "== docs (CLI examples + rule tables in sync) =="
 python tools/check_docs.py
 
-echo "== tier-1 tests (soak excluded) =="
-python -m pytest -x -q
+if [ "$FAST" = 1 ]; then
+    echo "== unit + property tests (fast mode) =="
+    python -m pytest -x -q tests/unit tests/property
+else
+    echo "== tier-1 tests (soak + net excluded) =="
+    python -m pytest -x -q
+fi
 
 echo "== all gates passed =="
